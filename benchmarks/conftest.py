@@ -1,0 +1,38 @@
+"""Benchmark harness configuration.
+
+Every table/figure of the paper has a bench here that regenerates it
+and prints the corresponding rows/series. Experiments are full
+discrete-event simulations, so each bench runs a single round via
+``benchmark.pedantic`` — the timing numbers report experiment cost; the
+printed tables report the reproduced results.
+
+Scale selection: set ``REPRO_BENCH_SCALE=default`` (longer runs) or
+``REPRO_BENCH_SCALE=paper`` (full 648-node topology, minutes per point)
+— the default is ``quick``.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.config import SCALES
+
+
+@pytest.fixture(scope="session")
+def scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if name not in SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}")
+    return SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def seed():
+    return int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,119 @@
+"""Ablations over the design choices the paper calls out.
+
+The paper stresses that CC parameters require careful tuning (section
+II / VI); these benches quantify the sensitivity around the Table I
+operating point on the reproduction's default scenario (silent forest,
+hotspots on), plus the QP-vs-SL operation mode comparison of section
+II.2 and the Victim Mask of footnote 2.
+"""
+
+import pytest
+
+from repro.core import CCParams
+from repro.experiments import ExperimentConfig, run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def silent_cfg(scale, seed, **params_kw):
+    kw = {"cct_slope": scale.cct_slope, "marking_rate": scale.marking_rate}
+    kw.update(params_kw)  # explicit overrides win over the scale defaults
+    params = CCParams.paper_table1().with_(**kw)
+    return ExperimentConfig(
+        scale=scale, b_fraction=0.0, seed=seed, cc=True, cc_params=params
+    )
+
+
+class TestThresholdSweep:
+    @pytest.mark.parametrize("weight", [1, 7, 15], ids=["w1", "w7", "w15"])
+    def test_bench_threshold(self, benchmark, scale, seed, weight):
+        res = run_once(
+            benchmark, run_experiment, silent_cfg(scale, seed, threshold=weight)
+        )
+        print(
+            f"\nthreshold weight {weight:2d}: non-hotspot {res.non_hotspot:.3f} "
+            f"hotspot {res.hotspot:.2f} marks {res.fecn_marks}"
+        )
+        # Any non-zero weight must rescue the victims at least partially.
+        assert res.non_hotspot > 1.0
+
+    def test_bench_threshold_zero_disables_cc(self, benchmark, scale, seed):
+        res = run_once(
+            benchmark, run_experiment, silent_cfg(scale, seed, threshold=0)
+        )
+        print(f"\nthreshold weight 0: marks {res.fecn_marks} (CC inert)")
+        assert res.fecn_marks == 0
+
+
+class TestMarkingRateSweep:
+    @pytest.mark.parametrize("mr", [0, 1, 7], ids=["mr0", "mr1", "mr7"])
+    def test_bench_marking_rate(self, benchmark, scale, seed, mr):
+        res = run_once(
+            benchmark, run_experiment, silent_cfg(scale, seed, marking_rate=mr)
+        )
+        print(
+            f"\nmarking rate {mr}: non-hotspot {res.non_hotspot:.3f} "
+            f"hotspot {res.hotspot:.2f} marks {res.fecn_marks} becns {res.becns}"
+        )
+        assert res.non_hotspot > 1.0
+        # Sparser marking -> fewer BECNs for the same congestion.
+        assert res.becns > 0
+
+
+class TestTimerSweep:
+    @pytest.mark.parametrize("timer", [75, 150, 300], ids=["t75", "t150", "t300"])
+    def test_bench_ccti_timer(self, benchmark, scale, seed, timer):
+        res = run_once(
+            benchmark, run_experiment, silent_cfg(scale, seed, ccti_timer=timer)
+        )
+        print(
+            f"\nccti timer {timer} ({timer * 1.024:.0f} us): "
+            f"non-hotspot {res.non_hotspot:.3f} hotspot {res.hotspot:.2f}"
+        )
+        assert res.non_hotspot > 1.0
+
+
+class TestQpVsSl:
+    def test_bench_qp_vs_sl(self, benchmark, scale, seed):
+        def both():
+            qp = run_experiment(silent_cfg(scale, seed, cc_mode="qp"))
+            sl = run_experiment(silent_cfg(scale, seed, cc_mode="sl"))
+            return qp, sl
+
+        qp, sl = run_once(benchmark, both)
+        print(
+            f"\nQP-level: non-hotspot {qp.non_hotspot:.3f} total {qp.total:.1f}\n"
+            f"SL-level: non-hotspot {sl.non_hotspot:.3f} total {sl.total:.1f}"
+        )
+        # Section II.2: SL-level CC throttles innocent flows sharing the
+        # SL, hurting total performance relative to QP-level operation.
+        assert qp.total > sl.total
+
+
+class TestVictimMask:
+    def test_bench_victim_mask(self, benchmark, scale, seed):
+        def both():
+            on = run_experiment(silent_cfg(scale, seed, victim_mask_hca_ports=True))
+            off = run_experiment(silent_cfg(scale, seed, victim_mask_hca_ports=False))
+            return on, off
+
+        on, off = run_once(benchmark, both)
+        print(
+            f"\nvictim mask on : non-hotspot {on.non_hotspot:.3f} marks {on.fecn_marks}\n"
+            f"victim mask off: non-hotspot {off.non_hotspot:.3f} marks {off.fecn_marks}"
+        )
+        # With the mask the end-node congestion roots mark reliably.
+        assert on.non_hotspot >= 0.9 * off.non_hotspot
+
+
+class TestCctSlopeSweep:
+    @pytest.mark.parametrize("slope", [0.25, 0.5, 2.0], ids=["s025", "s05", "s2"])
+    def test_bench_cct_slope(self, benchmark, scale, seed, slope):
+        res = run_once(
+            benchmark, run_experiment, silent_cfg(scale, seed, cct_slope=slope)
+        )
+        print(
+            f"\ncct slope {slope}: non-hotspot {res.non_hotspot:.3f} "
+            f"hotspot {res.hotspot:.2f}"
+        )
+        assert res.non_hotspot > 1.0

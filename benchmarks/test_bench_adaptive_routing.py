@@ -1,0 +1,76 @@
+"""Adaptive routing vs congestion control (paper section I discussion).
+
+The paper argues AR cannot substitute for CC on end-node congestion:
+"trying to reroute around the problem will only make the branches of
+the congestion tree spread out and cause more HOL blocking". This bench
+measures the four-way comparison on the silent-forest scenario:
+deterministic/adaptive routing x CC off/on.
+"""
+
+from repro.core import CCManager, CCParams
+from repro.engine import RngRegistry, Simulator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_generators
+from repro.metrics import Collector, group_rates
+from repro.network import Network, NetworkConfig
+from repro.network.adaptive import install_adaptive_routing
+from repro.topology import three_stage_fat_tree
+from repro.traffic import HotspotSchedule
+
+from benchmarks.conftest import run_once
+
+
+def _run(scale, seed, *, adaptive: bool, cc: bool):
+    cfg = ExperimentConfig(scale=scale, b_fraction=0.0, seed=seed, cc=cc)
+    topo = three_stage_fat_tree(scale.radix)
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    col = Collector(topo.n_hosts, warmup_ns=cfg.resolved_warmup())
+    net = Network(sim, topo, NetworkConfig(), collector=col)
+    if adaptive:
+        install_adaptive_routing(net)
+    if cc:
+        CCManager(cfg.resolved_cc_params()).install(net)
+    schedule = HotspotSchedule.choose_initial(
+        scale.n_hotspots, topo.n_hosts, rng.stream("hotspots")
+    )
+    generators, _ = build_generators(cfg, topo.n_hosts, rng, schedule)
+    for node, gen in enumerate(generators):
+        if gen is not None:
+            gen.bind(net.hcas[node])
+            net.hcas[node].attach_generator(gen)
+    sim_time = cfg.resolved_sim_time()
+    net.run(until=sim_time)
+    return group_rates(col.all_rx_rates_gbps(sim_time), schedule.current_targets)
+
+
+def test_bench_ar_vs_cc(benchmark, scale, seed):
+    def four_way():
+        return {
+            (adaptive, cc): _run(scale, seed, adaptive=adaptive, cc=cc)
+            for adaptive in (False, True)
+            for cc in (False, True)
+        }
+
+    results = run_once(benchmark, four_way)
+    print("\nAdaptive routing vs congestion control (silent forest)")
+    print(f"{'routing':>13} {'CC':>4} {'non-hotspot':>12} {'hotspot':>9} {'total':>9}")
+    for (adaptive, cc), g in results.items():
+        label = "adaptive" if adaptive else "deterministic"
+        print(
+            f"{label:>13} {'on' if cc else 'off':>4} {g['non_hotspot']:10.3f} G "
+            f"{g['hotspot']:7.2f} G {g['total']:7.1f} G"
+        )
+
+    det_off = results[(False, False)]
+    ar_off = results[(True, False)]
+    det_cc = results[(False, True)]
+    ar_cc = results[(True, True)]
+
+    # AR alone cannot rescue victims of end-node congestion: it gains
+    # little over deterministic routing compared to what CC delivers.
+    cc_gain = det_cc["non_hotspot"] - det_off["non_hotspot"]
+    ar_gain = ar_off["non_hotspot"] - det_off["non_hotspot"]
+    assert cc_gain > 2 * max(ar_gain, 0.0)
+    # CC remains effective when AR is also enabled (they compose).
+    assert ar_cc["non_hotspot"] > 1.5 * ar_off["non_hotspot"]

@@ -1,0 +1,83 @@
+"""In-fabric congestion from link frequency scaling (paper section I).
+
+Not a paper artifact — the introduction lists link frequency/voltage
+scaling among congestion causes but the evaluation only studies
+end-node hotspots. This bench measures the complementary case: a leaf
+uplink degraded to 25 % rate becomes an in-fabric congestion root
+(detected by the credit rule, no Victim Mask), and CC both protects
+victims sharing other resources with the contributors and shares the
+slow link fairly. Uses the bench-scale Marking_Rate damping (see
+DESIGN.md §3.9): with undamped per-packet marking a single full-rate
+flow into its own sink collects enough false marks to lose ~30% of its
+rate at this scale.
+"""
+
+from repro.core import CCManager, CCParams
+from repro.engine import RngRegistry, Simulator
+from repro.metrics import Collector, jain_fairness
+from repro.network import Network, NetworkConfig, degrade_uplink_between
+from repro.topology import three_stage_fat_tree
+from repro.traffic import FixedRateSource
+
+from benchmarks.conftest import run_once
+
+MS = 1e6
+
+
+def _run(cc: bool, seed: int):
+    topo = three_stage_fat_tree(8)
+    sim = Simulator()
+    col = Collector(topo.n_hosts, warmup_ns=3 * MS, track_pairs=True)
+    net = Network(sim, topo, NetworkConfig(), collector=col)
+    mgr = None
+    if cc:
+        mgr = CCManager(
+            CCParams.paper_table1().with_(cct_slope=0.5, marking_rate=3)
+        ).install(net)
+    # Leaf 0's uplink to spine 0 runs at 5 Gbit/s.
+    degrade_uplink_between(net, leaf=0, spine=0, factor=0.25)
+    rng = RngRegistry(seed)
+    gens = []
+    # Hosts 0..2 (leaf 0) all route via spine 0 (destinations = 0 mod 4):
+    # three 13.5 G flows into a 5 G link.
+    flows = [(0, 8), (1, 12), (2, 16)]
+    for src, dst in flows:
+        gen = FixedRateSource(src, topo.n_hosts, dst, 13.5, rng.stream("g", src))
+        gen.bind(net.hcas[src])
+        net.hcas[src].attach_generator(gen)
+        gens.append(gen)
+    # A victim on the same leaf using the *other* spines.
+    victim = FixedRateSource(3, topo.n_hosts, 9, 13.5, rng.stream("victim"))
+    victim.bind(net.hcas[3])
+    net.hcas[3].attach_generator(victim)
+    net.run(until=10 * MS)
+    shares = [col.rx_by_src.get((s, d), 0) for s, d in flows]
+    return {
+        "bottleneck_total": sum(shares) * 8 / (7 * MS),
+        "fairness": jain_fairness(shares),
+        "victim": col.rx_rate_gbps(9, 10 * MS),
+        "marks": mgr.total_marks() if mgr else 0,
+    }
+
+
+def test_bench_degraded_uplink(benchmark, seed):
+    def both():
+        return _run(False, seed), _run(True, seed)
+
+    off, on = run_once(benchmark, both)
+    print("\nDegraded uplink (20 -> 5 Gbit/s), three contributors + victim")
+    print(f"{'':8} {'bottleneck':>11} {'fairness':>9} {'victim':>8} {'marks':>7}")
+    for label, r in (("CC off", off), ("CC on", on)):
+        print(
+            f"{label:8} {r['bottleneck_total']:9.2f} G {r['fairness']:9.3f} "
+            f"{r['victim']:6.2f} G {r['marks']:7d}"
+        )
+
+    # The slow link stays utilized either way (backpressure or CC)...
+    assert off["bottleneck_total"] > 4.0
+    assert on["bottleneck_total"] > 4.0
+    # ...CC marks at the in-fabric root and keeps sharing fair...
+    assert on["marks"] > 0
+    assert on["fairness"] > 0.9
+    # ...and the victim on healthy spines keeps (nearly) full rate.
+    assert on["victim"] > 11.0

@@ -1,0 +1,62 @@
+"""Engine microbenchmarks: the hot paths the experiments run on.
+
+These are conventional multi-round benchmarks (unlike the experiment
+benches) and track regressions in the event loop and the per-packet
+datapath.
+"""
+
+from repro.engine import RngRegistry, Simulator
+from repro.metrics import NullCollector
+from repro.network import Network, NetworkConfig
+from repro.topology import three_stage_fat_tree
+from repro.traffic import FixedRateSource
+
+
+def test_bench_event_loop_throughput(benchmark):
+    """Events per second through the raw scheduler."""
+
+    def run_10k_events():
+        sim = Simulator()
+
+        def chain(remaining=10_000):
+            if remaining:
+                sim.schedule(1.0, chain, remaining - 1)
+
+        # Seed a few interleaved chains so the heap stays non-trivial.
+        for _ in range(8):
+            sim.schedule(0.5, chain, 1250)
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(run_10k_events)
+    assert executed >= 10_000
+
+
+def test_bench_single_flow_datapath(benchmark):
+    """Packets per second through HCA -> leaf -> spine -> leaf -> HCA."""
+
+    def run_flow():
+        topo = three_stage_fat_tree(4)
+        sim = Simulator()
+        net = Network(sim, topo, NetworkConfig(), collector=NullCollector())
+        gen = FixedRateSource(0, topo.n_hosts, 7, 13.5, RngRegistry(1).stream("g"))
+        gen.bind(net.hcas[0])
+        net.hcas[0].attach_generator(gen)
+        net.run(until=1e6)  # 1 ms of virtual time, ~800 packets
+        return gen.packets_emitted
+
+    packets = benchmark(run_flow)
+    assert packets > 500
+
+
+def test_bench_network_construction_648(benchmark):
+    """Setup cost of the full Sun DCS 648 network (54 switches)."""
+    from repro.topology import sun_dcs_648
+
+    def build():
+        sim = Simulator()
+        return Network(sim, sun_dcs_648(), NetworkConfig(), collector=NullCollector())
+
+    net = benchmark(build)
+    assert len(net.hcas) == 648
+    assert len(net.switches) == 54

@@ -1,0 +1,36 @@
+"""Table I — the CC parameter values.
+
+Table I is configuration, not measurement; this bench (a) asserts the
+library's ``paper_table1`` matches the published values exactly and
+(b) measures the cost of building the Congestion Control Table the
+parameters imply (a real setup-path cost on the CC manager).
+"""
+
+from repro.core import CCParams, build_cct
+
+
+PAPER_TABLE_1 = {
+    "ccti_increase": 1,
+    "ccti_limit": 127,
+    "ccti_min": 0,
+    "ccti_timer": 150,
+    "threshold": 15,
+    "marking_rate": 0,
+    "packet_size": 0,
+}
+
+
+def test_bench_table1_values(benchmark):
+    params = benchmark(CCParams.paper_table1)
+    for field, expected in PAPER_TABLE_1.items():
+        assert getattr(params, field) == expected, field
+    print("\nTable I -- CC parameter values (reproduced exactly)")
+    for field, expected in PAPER_TABLE_1.items():
+        print(f"  {field:15s} {expected}")
+
+
+def test_bench_cct_population(benchmark):
+    cct = benchmark(build_cct, 127, shape="linear", slope=2.0)
+    assert len(cct) == 128
+    assert cct[0] == 0.0
+    assert all(a <= b for a, b in zip(cct, cct[1:]))

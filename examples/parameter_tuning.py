@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Parameter tuning: why the paper calls CC configuration "nontrivial".
+
+Sweeps the congestion threshold weight and the CCT slope around the
+Table I operating point on a silent-forest workload, printing the
+victim recovery and hotspot utilization for each setting. Mirrors the
+paper's warning that "a bad configuration can result in low performance
+and instability in the network".
+
+Run:  python examples/parameter_tuning.py
+"""
+
+from repro.core import CCParams
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.config import SCALES
+
+
+def run_with(params: CCParams, scale) -> tuple:
+    cfg = ExperimentConfig(scale=scale, b_fraction=0.0, seed=11, cc_params=params)
+    res = run_experiment(cfg)
+    return res.non_hotspot, res.hotspot, res.fecn_marks
+
+
+def main() -> None:
+    scale = SCALES["quick"]
+    base = CCParams.paper_table1().with_(cct_slope=0.5, marking_rate=3)
+
+    baseline = run_experiment(
+        ExperimentConfig(scale=scale, b_fraction=0.0, seed=11, cc=False)
+    )
+    print("Silent forest, radix-8 fat-tree, 4 hotspots, 80% C / 20% V")
+    print(f"without CC: victims {baseline.non_hotspot:.2f} G, "
+          f"hotspots {baseline.hotspot:.2f} G\n")
+
+    print("Threshold weight sweep (Table I uses 15 = most sensitive):")
+    print(f"{'weight':>7} {'victims':>9} {'hotspots':>9} {'FECN marks':>11}")
+    for weight in (1, 5, 10, 15):
+        v, h, m = run_with(base.with_(threshold=weight), scale)
+        print(f"{weight:7d} {v:7.2f} G {h:7.2f} G {m:11d}")
+
+    print("\nCCT slope sweep (deepest throttle = 1/(1 + slope*127)):")
+    print(f"{'slope':>7} {'victims':>9} {'hotspots':>9}")
+    for slope in (0.1, 0.5, 2.0, 8.0):
+        v, h, _ = run_with(base.with_(cct_slope=slope), scale)
+        print(f"{slope:7.1f} {v:7.2f} G {h:7.2f} G")
+
+    print("\nToo-shallow throttling leaves the tree standing (victims low);")
+    print("too-aggressive settings shave hotspot utilization. Table I plus")
+    print("a topology-sized CCT hits both goals - the paper's core claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: grow a congestion tree, then prune it with IB CC.
+
+Builds a small three-stage fat-tree (32 nodes), points seven
+contributors at one hotspot, and shows the before/after of enabling the
+InfiniBand congestion control mechanism with the paper's Table I
+parameters: without CC a victim flow sharing an uplink with the
+contributors is HOL-blocked; with CC it runs at nearly full rate while
+the hotspot stays saturated.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BNodeSource,
+    CCManager,
+    CCParams,
+    Collector,
+    FixedRateSource,
+    HotspotSchedule,
+    Network,
+    NetworkConfig,
+    RngRegistry,
+    Simulator,
+    three_stage_fat_tree,
+)
+
+SIM_TIME_NS = 8e6  # 8 ms of network time
+WARMUP_NS = 3e6
+
+
+def run(cc_enabled: bool) -> dict:
+    topo = three_stage_fat_tree(8)  # 8 leaves x 4 hosts = 32 nodes
+    sim = Simulator()
+    rng = RngRegistry(42)
+    collector = Collector(topo.n_hosts, warmup_ns=WARMUP_NS)
+    net = Network(sim, topo, NetworkConfig(), collector=collector)
+
+    if cc_enabled:
+        params = CCParams.paper_table1().with_(cct_slope=0.5, marking_rate=3)
+        CCManager(params).install(net)
+
+    # Contributors 2..6 all saturate node 0 (a storage node, say).
+    hotspot = HotspotSchedule([0])
+    for node in range(2, 7):
+        gen = BNodeSource(
+            node, topo.n_hosts, p=1.0, rng=rng.stream("gen", node),
+            hotspot=lambda: hotspot.target(0),
+        )
+        gen.bind(net.hcas[node])
+        net.hcas[node].attach_generator(gen)
+
+    # A victim: node 7 sends to idle node 8, sharing the leaf-1 uplink
+    # with three of the contributors.
+    victim = FixedRateSource(7, topo.n_hosts, 8, 13.5, rng.stream("gen", 7))
+    victim.bind(net.hcas[7])
+    net.hcas[7].attach_generator(victim)
+
+    net.run(until=SIM_TIME_NS)
+    return {
+        "hotspot_gbps": collector.rx_rate_gbps(0, SIM_TIME_NS),
+        "victim_gbps": collector.rx_rate_gbps(8, SIM_TIME_NS),
+        "events": sim.events_executed,
+    }
+
+
+def main() -> None:
+    print("InfiniBand congestion control quickstart (radix-8 fat-tree)")
+    print(f"{'':14} {'hotspot rcv':>12} {'victim rcv':>12}")
+    off = run(cc_enabled=False)
+    print(f"{'CC off':14} {off['hotspot_gbps']:10.2f} G {off['victim_gbps']:10.2f} G")
+    on = run(cc_enabled=True)
+    print(f"{'CC on':14} {on['hotspot_gbps']:10.2f} G {on['victim_gbps']:10.2f} G")
+    print()
+    factor = on["victim_gbps"] / max(off["victim_gbps"], 1e-9)
+    print(f"Victim speedup from enabling CC: {factor:.1f}x")
+    print("The hotspot stays ~saturated (13.6 Gbit/s sink cap) either way;")
+    print("CC's job is rescuing everyone else.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Watch a congestion tree grow, get pruned, and move — live.
+
+Uses the time-series sampler and the congestion-tree tracker to
+visualize (in plain ASCII) what the paper describes qualitatively in
+section III: the root queue builds until CC throttles the contributors,
+and the tracker classifies the tree as silent / windy / moving
+depending on the workload.
+
+Run:  python examples/tree_dynamics.py
+"""
+
+from repro import (
+    BNodeSource,
+    CCManager,
+    CCParams,
+    Collector,
+    HotspotSchedule,
+    Network,
+    NetworkConfig,
+    RngRegistry,
+    Simulator,
+    three_stage_fat_tree,
+)
+from repro.metrics import CongestionTreeTracker, TimeSeries, sparkline
+
+SIM_NS = 6e6
+INTERVAL = 2e5
+
+
+def run(kind: str) -> None:
+    topo = three_stage_fat_tree(8)
+    n = topo.n_hosts
+    sim = Simulator()
+    rng = RngRegistry(5)
+    col = Collector(n, warmup_ns=0.0)
+    net = Network(sim, topo, NetworkConfig(), collector=col)
+    mgr = CCManager(
+        CCParams.paper_table1().with_(cct_slope=0.5, marking_rate=3)
+    ).install(net)
+
+    lifetime = 1e6 if kind == "moving" else None
+    schedule = HotspotSchedule.choose_initial(
+        2, n, rng.stream("hs"), lifetime_ns=lifetime
+    )
+    p = {"silent": 1.0, "windy": 0.6, "moving": 1.0}[kind]
+    for node in range(n):
+        if node in schedule.current_targets:
+            continue
+        gen = BNodeSource(
+            node, n, p, rng.stream("gen", node),
+            hotspot=lambda s=schedule, k=node % 2: s.target(k),
+        )
+        gen.bind(net.hcas[node])
+        net.hcas[node].attach_generator(gen)
+    schedule.install(sim, net.hcas)
+
+    hs0 = schedule.current_targets[0]
+    att = topo.host_attachment(hs0)
+    ts = TimeSeries(
+        sim,
+        INTERVAL,
+        {
+            "root_queue": TimeSeries.queue_probe(net.switches[att.switch_id], att.switch_port),
+            "throttled": TimeSeries.throttle_probe(mgr),
+        },
+    ).start()
+    tracker = CongestionTreeTracker(net, INTERVAL).start()
+    net.run(until=SIM_NS)
+
+    dyn = tracker.dynamics()
+    print(f"--- {kind} workload " + "-" * (40 - len(kind)))
+    print(f"root queue bytes : {sparkline(ts.samples['root_queue'])}")
+    print(f"throttled flows  : {sparkline(ts.samples['throttled'])}")
+    print(
+        f"tracker: root churn {dyn.root_churn:.2f}, branch churn "
+        f"{dyn.branch_churn:.2f}, congested {dyn.congested_fraction:.0%} "
+        f"of samples -> classified **{dyn.classify()}**"
+    )
+    print()
+
+
+def main() -> None:
+    print("Congestion-tree dynamics on a radix-8 fat-tree, CC enabled\n")
+    for kind in ("silent", "windy", "moving"):
+        run(kind)
+    print("The CC loop shows up as the root queue spiking then collapsing")
+    print("while the throttled-flow count rises; the tracker's churn")
+    print("scores recover the paper's silent/windy/moving taxonomy from")
+    print("buffer state alone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Victim latency: what congestion trees feel like before throughput dies.
+
+Throughput collapse is the paper's headline metric, but the first
+symptom of a growing congestion tree is latency: a victim's packets
+queue behind hotspot backlog at every shared buffer. This example
+measures a victim flow's median and tail latency with the congestion
+tree standing (CC off) and pruned (CC on).
+
+Run:  python examples/victim_latency.py
+"""
+
+from repro import (
+    BNodeSource,
+    CCManager,
+    CCParams,
+    Collector,
+    FixedRateSource,
+    HotspotSchedule,
+    Network,
+    NetworkConfig,
+    RngRegistry,
+    Simulator,
+    three_stage_fat_tree,
+)
+from repro.metrics import LatencyTracker
+
+SIM_NS = 8e6
+WARMUP = 3e6
+VICTIM_SRC, VICTIM_DST = 7, 8  # shares leaf 1's uplink with contributors
+
+
+def run(cc_enabled: bool) -> dict:
+    topo = three_stage_fat_tree(8)
+    n = topo.n_hosts
+    sim = Simulator()
+    rng = RngRegistry(21)
+    tracker = LatencyTracker(Collector(n, warmup_ns=WARMUP), warmup_ns=WARMUP)
+    net = Network(sim, topo, NetworkConfig(), collector=tracker)
+    if cc_enabled:
+        CCManager(
+            CCParams.paper_table1().with_(cct_slope=0.5, marking_rate=3)
+        ).install(net)
+
+    hotspot = HotspotSchedule([0])
+    for node in range(2, 7):
+        gen = BNodeSource(node, n, 1.0, rng.stream("gen", node),
+                          hotspot=lambda: hotspot.target(0))
+        gen.bind(net.hcas[node])
+        net.hcas[node].attach_generator(gen)
+    victim = FixedRateSource(VICTIM_SRC, n, VICTIM_DST, 6.0, rng.stream("victim"))
+    victim.bind(net.hcas[VICTIM_SRC])
+    net.hcas[VICTIM_SRC].attach_generator(victim)
+
+    net.run(until=SIM_NS)
+    pcts = tracker.percentiles([VICTIM_DST], qs=(50.0, 99.0))
+    return {
+        "p50_us": pcts[50.0] / 1000.0,
+        "p99_us": pcts[99.0] / 1000.0,
+        "rate": tracker.rx_rate_gbps(VICTIM_DST, SIM_NS),
+    }
+
+
+def main() -> None:
+    print("Victim flow (6 Gbit/s, sharing an uplink with 3 contributors)")
+    print(f"{'':8} {'p50 latency':>12} {'p99 latency':>12} {'delivered':>10}")
+    for label, cc in (("CC off", False), ("CC on", True)):
+        r = run(cc)
+        print(f"{label:8} {r['p50_us']:9.1f} us {r['p99_us']:9.1f} us "
+              f"{r['rate']:8.2f} G")
+    print()
+    print("With the tree standing, every victim packet crosses buffers")
+    print("full of hotspot backlog; pruning the tree returns latency to")
+    print("the microsecond regime even before throughput fully recovers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline environment has setuptools but no `wheel` package, so
+PEP 517 editable installs fail during metadata generation. This shim
+lets ``pip install -e . --no-build-isolation --no-use-pep517`` (and
+plain ``pip install -e .`` via pip's automatic legacy fallback on some
+versions) work without network access.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,7 @@
+"""``python -m repro`` — same interface as the ``ibcc-repro`` script."""
+
+import sys
+
+from repro.experiments.cli import main
+
+sys.exit(main())

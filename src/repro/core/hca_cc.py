@@ -1,0 +1,127 @@
+"""HCA-side congestion control: the reaction point.
+
+Each BECN received for a flow bumps the flow's index into the
+Congestion Control Table by ``CCTI_Increase`` (saturating at
+``CCTI_Limit``); the table entry then dictates the injection rate
+delay between that flow's packets. A per-HCA recovery timer
+(``CCTI_Timer``, maintained per SL in the spec) decrements every
+flow's index each period, restoring the injection rate once congestion
+notifications stop.
+
+Operation modes (paper section II.2):
+
+* ``"qp"`` — state is kept per flow (queue pair). Only the flow that
+  contributed to congestion is throttled. This is what the paper uses.
+* ``"sl"`` — state is kept per service level: one BECN throttles every
+  flow of that SL at this HCA, including innocent ones. Implemented
+  for the ablation benchmarks quantifying the paper's claim that SL
+  mode hurts fairness and performance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.core.cct import build_cct
+from repro.core.parameters import CCParams
+from repro.network.packet import FlowKey, Packet
+
+
+class _FlowState:
+    __slots__ = ("ccti", "next_time")
+
+    def __init__(self) -> None:
+        self.ccti = 0
+        self.next_time = 0.0
+
+
+class HcaCC:
+    """CC reaction-point state for one HCA."""
+
+    __slots__ = (
+        "hca",
+        "params",
+        "cct",
+        "_states",
+        "_timer_pending",
+        "_byte_time",
+        "becns_applied",
+        "timer_fires",
+    )
+
+    def __init__(self, hca, params: CCParams, cct: Optional[List[float]] = None) -> None:
+        self.hca = hca
+        self.params = params
+        self.cct = cct if cct is not None else build_cct(
+            params.ccti_limit, shape=params.cct_shape, slope=params.cct_slope
+        )
+        if len(self.cct) < params.ccti_limit + 1:
+            raise ValueError("CCT shorter than CCTI_Limit + 1")
+        self._states: Dict[Hashable, _FlowState] = {}
+        self._timer_pending = False
+        self._byte_time = hca.obuf.link.byte_time_ns
+        self.becns_applied = 0
+        self.timer_fires = 0
+
+    # -- keying ----------------------------------------------------------
+    def _key(self, flow: FlowKey, sl: int = 0) -> Hashable:
+        return flow if self.params.cc_mode == "qp" else sl
+
+    # -- queries used by traffic generators -----------------------------
+    def next_allowed(self, flow: FlowKey, sl: int = 0) -> float:
+        """Earliest virtual time the next packet of ``flow`` may inject."""
+        state = self._states.get(self._key(flow, sl))
+        if state is None or state.ccti <= 0:
+            return 0.0
+        return state.next_time
+
+    def ccti_of(self, flow: FlowKey, sl: int = 0) -> int:
+        """Current CCT index of ``flow`` (0 when unthrottled)."""
+        state = self._states.get(self._key(flow, sl))
+        return 0 if state is None else state.ccti
+
+    # -- event hooks -------------------------------------------------
+    def on_inject(self, pkt: Packet) -> None:
+        """Track the flow's IRD horizon as a packet enters the obuf."""
+        state = self._states.get(self._key(pkt.flow, pkt.sl))
+        if state is None or state.ccti <= 0:
+            return
+        ser = pkt.wire_size * self._byte_time
+        state.next_time = self.hca.sim.now + ser * (1.0 + self.cct[state.ccti])
+
+    def on_becn(self, flow: FlowKey, sl: int = 0) -> None:
+        """A BECN arrived for ``flow``: deepen its throttle."""
+        key = self._key(flow, sl)
+        state = self._states.get(key)
+        if state is None:
+            state = _FlowState()
+            self._states[key] = state
+        state.ccti = min(state.ccti + self.params.ccti_increase, self.params.ccti_limit)
+        self.becns_applied += 1
+        self._ensure_timer()
+
+    # -- recovery timer ----------------------------------------------
+    def _ensure_timer(self) -> None:
+        if not self._timer_pending:
+            self._timer_pending = True
+            self.hca.sim.schedule(self.params.timer_period_ns, self._timer_fire)
+
+    def _timer_fire(self) -> None:
+        self._timer_pending = False
+        self.timer_fires += 1
+        floor = self.params.ccti_min
+        any_active = False
+        for state in self._states.values():
+            if state.ccti > floor:
+                state.ccti -= 1
+                if state.ccti > floor:
+                    any_active = True
+        if any_active:
+            self._ensure_timer()
+        # A flow may now be allowed earlier than the generator planned.
+        self.hca.kick()
+
+    # -- introspection -------------------------------------------------
+    def throttled_flows(self) -> int:
+        """Number of flows currently holding a non-zero CCTI."""
+        return sum(1 for s in self._states.values() if s.ccti > 0)

@@ -1,0 +1,70 @@
+"""The Congestion Control Manager.
+
+In InfiniBand, a subnet-wide Congestion Control Manager distributes CC
+parameters to every switch and channel adapter. :class:`CCManager`
+plays that role for a simulated :class:`~repro.network.network.Network`:
+it instantiates :class:`~repro.core.switch_cc.SwitchCC` on every
+switch, sets the ``Victim_Mask`` on HCA-facing switch ports (the spec's
+recommended practice — see footnote 2 of the paper), builds one shared
+CCT, and installs :class:`~repro.core.hca_cc.HcaCC` on every HCA.
+
+Running without CC (the paper's baselines) simply means never calling
+``install`` — switches then never mark and HCAs never throttle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.cct import build_cct
+from repro.core.hca_cc import HcaCC
+from repro.core.parameters import CCParams
+from repro.core.switch_cc import SwitchCC
+
+
+class CCManager:
+    """Configure congestion control across a network."""
+
+    __slots__ = ("params", "cct", "switch_cc", "hca_cc")
+
+    def __init__(self, params: Optional[CCParams] = None) -> None:
+        self.params = params or CCParams.paper_table1()
+        self.cct = build_cct(
+            self.params.ccti_limit,
+            shape=self.params.cct_shape,
+            slope=self.params.cct_slope,
+        )
+        self.switch_cc: List[SwitchCC] = []
+        self.hca_cc: List[HcaCC] = []
+
+    def install(self, network) -> "CCManager":
+        """Activate CC on every switch and HCA of ``network``."""
+        params = self.params
+        self.switch_cc = []
+        for switch in network.switches:
+            scc = SwitchCC(switch, params)
+            scc.attach()
+            switch.cc = scc
+            self.switch_cc.append(scc)
+        if params.victim_mask_hca_ports:
+            for hl in network.topology.host_links:
+                self.switch_cc[hl.switch_id].set_victim_mask(hl.switch_port)
+        self.hca_cc = []
+        for hca in network.hcas:
+            hcc = HcaCC(hca, params, self.cct)
+            hca.cc = hcc
+            self.hca_cc.append(hcc)
+        return self
+
+    # -- aggregate statistics for reports/tests -------------------------
+    def total_marks(self) -> int:
+        """FECN marks applied across all switches."""
+        return sum(scc.marks for scc in self.switch_cc)
+
+    def total_becns(self) -> int:
+        """BECNs applied across all HCAs."""
+        return sum(hcc.becns_applied for hcc in self.hca_cc)
+
+    def throttled_flows(self) -> int:
+        """Flows currently throttled network-wide."""
+        return sum(hcc.throttled_flows() for hcc in self.hca_cc)

@@ -1,0 +1,105 @@
+"""Congestion-control parameters (the paper's Table I).
+
+The IB spec exposes a rich parameter set with little guidance; the
+paper's contribution is showing that one fixed assignment (found in
+their earlier hardware study, IPDPS'10) is robust across increasingly
+dynamic traffic. :meth:`CCParams.paper_table1` reproduces that
+assignment exactly.
+
+Units and semantics:
+
+* ``threshold`` — congestion threshold *weight*, 0–15. 0 disables
+  marking; 1 is the highest (least sensitive) threshold, 15 the lowest
+  (most sensitive), "uniformly decreasing". The byte-level threshold
+  an output Port VL is compared against is
+  ``ibuf_capacity * (16 - weight) / 16`` (implementation-defined by the
+  spec; see DESIGN.md §3.5).
+* ``marking_rate`` — mean number of FECN-eligible packets sent between
+  two marked packets; 0 marks every eligible packet.
+* ``packet_size`` — packets with smaller payload are never marked.
+* ``ccti_increase`` — CCT-index bump per received BECN.
+* ``ccti_limit`` — upper bound of the CCT index (table size - 1).
+* ``ccti_min`` — floor the timer decrements down to.
+* ``ccti_timer`` — recovery-timer period in units of 1.024 µs; every
+  expiry decrements the CCTI of all flows by one.
+* ``cct_shape`` / ``cct_slope`` — how the CCT is populated (the spec
+  leaves contents to the operator; the paper notes the values were
+  "increased to reflect the larger number of possible contributors").
+* ``cc_mode`` — ``"qp"`` (paper default) or ``"sl"``: whether one BECN
+  throttles only its flow or every flow of the service level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+CCTI_TIMER_UNIT_NS = 1024.0  # one timer tick: 1.024 microseconds
+
+
+@dataclass
+class CCParams:
+    threshold: int = 15
+    marking_rate: int = 0
+    packet_size: int = 0
+    ccti_increase: int = 1
+    ccti_limit: int = 127
+    ccti_min: int = 0
+    ccti_timer: int = 150
+    cct_shape: str = "linear"
+    cct_slope: float = 0.5
+    cc_mode: str = "qp"
+    victim_mask_hca_ports: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.threshold <= 15:
+            raise ValueError("threshold weight must be in 0..15")
+        if self.marking_rate < 0:
+            raise ValueError("marking_rate must be >= 0")
+        if self.packet_size < 0:
+            raise ValueError("packet_size must be >= 0")
+        if self.ccti_increase < 1:
+            raise ValueError("ccti_increase must be >= 1")
+        if not 0 <= self.ccti_min <= self.ccti_limit:
+            raise ValueError("need 0 <= ccti_min <= ccti_limit")
+        if self.ccti_timer <= 0:
+            raise ValueError("ccti_timer must be positive")
+        if self.cct_shape not in ("linear", "exponential"):
+            raise ValueError("cct_shape must be 'linear' or 'exponential'")
+        if self.cct_slope < 0:
+            raise ValueError("cct_slope must be >= 0")
+        if self.cc_mode not in ("qp", "sl"):
+            raise ValueError("cc_mode must be 'qp' or 'sl'")
+
+    @property
+    def timer_period_ns(self) -> float:
+        """Recovery timer period in nanoseconds."""
+        return self.ccti_timer * CCTI_TIMER_UNIT_NS
+
+    def threshold_bytes(self, ibuf_capacity: int) -> float:
+        """Byte threshold for a given input-buffer capacity.
+
+        Weight 0 returns +inf (marking disabled); weights 1..15 map
+        uniformly from 15/16 of the capacity (weight 1, high threshold)
+        down to 1/16 (weight 15, low threshold).
+        """
+        if self.threshold == 0:
+            return float("inf")
+        return ibuf_capacity * (16 - self.threshold) / 16.0
+
+    @classmethod
+    def paper_table1(cls) -> "CCParams":
+        """The exact parameter values of the paper's Table I."""
+        return cls(
+            ccti_increase=1,
+            ccti_limit=127,
+            ccti_min=0,
+            ccti_timer=150,
+            threshold=15,
+            marking_rate=0,
+            packet_size=0,
+        )
+
+    def with_(self, **kwargs) -> "CCParams":
+        """A modified copy (for parameter sweeps/ablations)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,109 @@
+"""Congestion-control statistics snapshots.
+
+Real InfiniBand exposes CC state through management datagrams
+(CongestionInfo, CongestionLog, per-port counters); operators tune the
+parameters against those counters. This module provides the simulated
+equivalent: a structured snapshot of a network's CC state, per switch
+port and per HCA, suitable for printing or for driving tuning loops
+(see ``examples/parameter_tuning.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class SwitchPortCcStats:
+    switch_id: int
+    port: int
+    victim_masked: bool
+    marks: int  # per-switch granularity in the model; see note below
+
+
+@dataclass
+class HcaCcStats:
+    node_id: int
+    becns_applied: int
+    cnps_sent: int
+    throttled_flows: int
+    deepest_ccti: int
+    timer_fires: int
+
+
+@dataclass
+class CcSnapshot:
+    """Network-wide CC state at one instant."""
+
+    time_ns: float
+    total_marks: int
+    total_eligible: int
+    total_becns: int
+    total_cnps: int
+    throttled_flows: int
+    per_switch_marks: Dict[int, int] = field(default_factory=dict)
+    hcas: List[HcaCcStats] = field(default_factory=list)
+
+    @property
+    def marking_ratio(self) -> float:
+        """Marked / eligible packets (1.0 when Marking_Rate = 0)."""
+        if self.total_eligible == 0:
+            return 0.0
+        return self.total_marks / self.total_eligible
+
+    def hottest_hcas(self, k: int = 5) -> List[HcaCcStats]:
+        """HCAs with the deepest current throttles."""
+        return sorted(self.hcas, key=lambda h: -h.deepest_ccti)[:k]
+
+    def format(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"CC snapshot @ {self.time_ns / 1e6:.3f} ms",
+            f"  FECN marks      {self.total_marks} "
+            f"({self.marking_ratio:.0%} of eligible)",
+            f"  BECNs applied   {self.total_becns}",
+            f"  CNPs sent       {self.total_cnps}",
+            f"  throttled flows {self.throttled_flows}",
+        ]
+        hot = [h for h in self.hottest_hcas() if h.deepest_ccti > 0]
+        if hot:
+            lines.append("  deepest throttles:")
+            for h in hot:
+                lines.append(
+                    f"    node {h.node_id:4d}: CCTI {h.deepest_ccti}, "
+                    f"{h.throttled_flows} flows"
+                )
+        return "\n".join(lines)
+
+
+def snapshot_cc(network, manager) -> CcSnapshot:
+    """Collect a :class:`CcSnapshot` from a live network + CC manager."""
+    hcas = []
+    for hca, hcc in zip(network.hcas, manager.hca_cc):
+        deepest = 0
+        for state in hcc._states.values():
+            if state.ccti > deepest:
+                deepest = state.ccti
+        hcas.append(
+            HcaCcStats(
+                node_id=hca.node_id,
+                becns_applied=hcc.becns_applied,
+                cnps_sent=hca.cnps_sent,
+                throttled_flows=hcc.throttled_flows(),
+                deepest_ccti=deepest,
+                timer_fires=hcc.timer_fires,
+            )
+        )
+    return CcSnapshot(
+        time_ns=network.sim.now,
+        total_marks=manager.total_marks(),
+        total_eligible=sum(scc.eligible for scc in manager.switch_cc),
+        total_becns=manager.total_becns(),
+        total_cnps=sum(h.cnps_sent for h in network.hcas),
+        throttled_flows=manager.throttled_flows(),
+        per_switch_marks={
+            scc.switch.node_id: scc.marks for scc in manager.switch_cc
+        },
+        hcas=hcas,
+    )

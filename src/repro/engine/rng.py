@@ -1,0 +1,69 @@
+"""Deterministic random-number stream management.
+
+Every component that needs randomness gets its own independent
+:class:`numpy.random.Generator`, derived from a single master seed via
+``SeedSequence.spawn``-style keyed children. Streams are keyed by an
+arbitrary hashable name (e.g. ``("gen", node_id)``), so adding a new
+consumer never perturbs the draws seen by existing components — runs
+stay reproducible across code evolution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+import numpy as np
+
+
+class RngRegistry:
+    """Factory for named, independent random generators.
+
+    Examples
+    --------
+    >>> reg = RngRegistry(1234)
+    >>> a = reg.stream("gen", 0)
+    >>> b = reg.stream("gen", 1)
+    >>> a is reg.stream("gen", 0)   # streams are cached by key
+    True
+    >>> float(a.random()) != float(b.random())
+    True
+    """
+
+    __slots__ = ("_master_seed", "_streams")
+
+    def __init__(self, master_seed: int = 0) -> None:
+        if not isinstance(master_seed, (int, np.integer)):
+            raise TypeError("master_seed must be an integer")
+        self._master_seed = int(master_seed)
+        self._streams: Dict[Tuple[Hashable, ...], np.random.Generator] = {}
+
+    @property
+    def master_seed(self) -> int:
+        return self._master_seed
+
+    def stream(self, *key: Hashable) -> np.random.Generator:
+        """Return the (cached) generator for ``key``.
+
+        The key is folded into the seed material, so the same
+        ``(master_seed, key)`` always yields the same stream and
+        distinct keys yield statistically independent streams.
+        """
+        if not key:
+            raise ValueError("stream key must be non-empty")
+        cached = self._streams.get(key)
+        if cached is not None:
+            return cached
+        # Fold the key deterministically into integer entropy. str() of
+        # the key pieces is stable across runs for ints/strings, which
+        # is all we use as keys.
+        digest = 0
+        for part in key:
+            for ch in str(part):
+                digest = (digest * 1000003 + ord(ch)) & 0xFFFFFFFFFFFFFFFF
+        seq = np.random.SeedSequence([self._master_seed, digest])
+        gen = np.random.Generator(np.random.PCG64(seq))
+        self._streams[key] = gen
+        return gen
+
+    def __len__(self) -> int:
+        return len(self._streams)

@@ -1,0 +1,42 @@
+"""Experiment drivers: one per table/figure of the paper.
+
+* :mod:`repro.experiments.config` — scenario + scale configuration;
+* :mod:`repro.experiments.runner` — build a network from a config, run
+  it, and collect an :class:`~repro.experiments.runner.ExperimentResult`;
+* :mod:`repro.experiments.table2` — the silent-forest phases (Table II);
+* :mod:`repro.experiments.windy` — the p-sweeps of figures 5–8;
+* :mod:`repro.experiments.moving` — the hotspot-lifetime sweeps of
+  figures 9–10;
+* :mod:`repro.experiments.cli` — ``python -m repro`` / ``ibcc-repro``.
+
+All drivers accept a *scale profile* (``quick``/``default``/``paper``)
+that sets the fat-tree radix, hotspot count, simulated time and CCT
+slope. ``paper`` is the full 648-node Sun DCS topology; see DESIGN.md
+§3 for why the smaller profiles preserve the reported shapes.
+"""
+
+from repro.experiments.config import ExperimentConfig, ScaleProfile, SCALES
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.table2 import run_table2
+from repro.experiments.windy import run_windy_point, run_windy_figure
+from repro.experiments.moving import run_moving_point, run_moving_figure
+from repro.experiments.sweep import sweep, SweepResult
+from repro.experiments.store import ResultStore
+from repro.experiments.report import generate_report
+
+__all__ = [
+    "ExperimentConfig",
+    "ScaleProfile",
+    "SCALES",
+    "ExperimentResult",
+    "run_experiment",
+    "run_table2",
+    "run_windy_point",
+    "run_windy_figure",
+    "run_moving_point",
+    "run_moving_figure",
+    "sweep",
+    "SweepResult",
+    "ResultStore",
+    "generate_report",
+]

@@ -1,0 +1,128 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Examples::
+
+    ibcc-repro table2 --scale quick
+    ibcc-repro fig5 --scale default
+    ibcc-repro fig9a --scale quick
+    ibcc-repro fig10 --p 60
+    python -m repro table2 --scale paper        # full 648-node run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import SCALES
+from repro.experiments.moving import run_moving_figure
+from repro.experiments.table2 import run_table2
+from repro.experiments.windy import run_windy_figure
+
+_WINDY_X = {"fig5": 0.25, "fig6": 0.50, "fig7": 0.75, "fig8": 1.00}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser for the ``ibcc-repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="ibcc-repro",
+        description=(
+            "Reproduce tables/figures of 'Exploring the Scope of the "
+            "InfiniBand Congestion Control Mechanism' (IPDPS 2012)"
+        ),
+    )
+    parser.add_argument(
+        "artifact",
+        choices=["table2", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="default",
+        help="scale profile (paper = full 648-node Sun DCS topology)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--p",
+        type=float,
+        default=60,
+        help="fig10 only: hotspot share in percent (30/60/90 in the paper)",
+    )
+    parser.add_argument(
+        "--p-step",
+        type=float,
+        default=10,
+        help="windy figures: p sweep step in percent",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render the figure panels as ASCII charts",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    scale = SCALES[args.scale]
+
+    if args.artifact == "table2":
+        print(run_table2(scale, seed=args.seed).format())
+    elif args.artifact in _WINDY_X:
+        step = args.p_step / 100.0
+        p_values = []
+        p = 0.0
+        while p < 1.0 + 1e-9:
+            p_values.append(round(p, 6))
+            p += step
+        fig = run_windy_figure(
+            _WINDY_X[args.artifact], scale, p_values=p_values, seed=args.seed
+        )
+        print(fig.format())
+        peak = fig.peak_improvement()
+        print(f"peak improvement {peak.improvement:.1f}x at p={peak.p * 100:.0f}%")
+        if args.chart:
+            from repro.metrics import line_chart
+
+            series = fig.series()
+            print()
+            print(line_chart(
+                {"CC off": series["non_hotspot_off"],
+                 "CC on": series["non_hotspot_on"],
+                 "tmax": series["tmax"]},
+                series["p"], x_label="p (%)", y_label="non-hotspot rcv (Gbit/s)",
+            ))
+            print()
+            print(line_chart(
+                {"improvement": series["improvement"]},
+                series["p"], x_label="p (%)", y_label="CC throughput gain (x)",
+            ))
+    elif args.artifact in ("fig9a", "fig9b", "fig10"):
+        if args.artifact == "fig9a":
+            fig = run_moving_figure(scale, c_fraction_of_rest=0.8,
+                                    label="20% V / 80% C", seed=args.seed)
+        elif args.artifact == "fig9b":
+            fig = run_moving_figure(scale, c_fraction_of_rest=0.4,
+                                    label="60% V / 40% C", seed=args.seed)
+        else:
+            fig = run_moving_figure(scale, b_fraction=1.0, p=args.p / 100.0,
+                                    label=f"100% B, p={args.p:.0f}", seed=args.seed)
+        print(fig.format())
+        if args.chart:
+            from repro.metrics import line_chart
+
+            series = fig.series()
+            print()
+            print(line_chart(
+                {"CC off": series["all_off"], "CC on": series["all_on"]},
+                series["lifetime_ms"],
+                x_label="hotspot lifetime (ms)",
+                y_label="all-node rcv (Gbit/s)",
+            ))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

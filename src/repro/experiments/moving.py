@@ -1,0 +1,120 @@
+"""Figures 9-10: the stormy forest of moving congestion trees.
+
+Hotspots relocate every *lifetime* (10 ms down to 1 ms); the reported
+metric is the average receive rate over **all** nodes, CC on vs off.
+Figure 9 moves silent trees with two C/V mixes; figure 10 moves windy
+trees (100 % B nodes) at p = 30/60/90 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.config import SCALES, ExperimentConfig, ScaleProfile
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+
+@dataclass
+class MovingPoint:
+    """One hotspot lifetime, CC off vs on."""
+
+    lifetime_ns: float
+    off: ExperimentResult
+    on: ExperimentResult
+
+    @property
+    def improvement(self) -> float:
+        return self.on.all_nodes / self.off.all_nodes
+
+
+@dataclass
+class MovingFigure:
+    """One panel of figure 9 or 10: a lifetime sweep."""
+
+    label: str
+    points: List[MovingPoint]
+
+    def series(self) -> Dict[str, List[float]]:
+        """Column-oriented data for the lifetime sweep panels."""
+        return {
+            "lifetime_ms": [pt.lifetime_ns / 1e6 for pt in self.points],
+            "all_off": [pt.off.all_nodes for pt in self.points],
+            "all_on": [pt.on.all_nodes for pt in self.points],
+            "improvement": [pt.improvement for pt in self.points],
+        }
+
+    def format(self) -> str:
+        """Plain-text table matching the paper panel."""
+        head = (
+            f"Moving hotspots: {self.label}\n"
+            f"{'life ms':>8} {'all off':>9} {'all on':>9} {'improv':>8}"
+        )
+        rows = [
+            f"{pt.lifetime_ns / 1e6:8.1f} {pt.off.all_nodes:9.3f} "
+            f"{pt.on.all_nodes:9.3f} {pt.improvement:8.2f}"
+            for pt in self.points
+        ]
+        return "\n".join([head, *rows])
+
+
+def run_moving_point(
+    lifetime_ns: float,
+    scale: ScaleProfile | str = "default",
+    *,
+    b_fraction: float = 0.0,
+    p: float = 0.5,
+    c_fraction_of_rest: float = 0.8,
+    seed: int = 7,
+) -> MovingPoint:
+    """One lifetime cell (both CC settings)."""
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+    cfg = ExperimentConfig(
+        scale=scale,
+        b_fraction=b_fraction,
+        p=p,
+        c_fraction_of_rest=c_fraction_of_rest,
+        hotspot_lifetime_ns=lifetime_ns,
+        seed=seed,
+        name=f"moving-life{lifetime_ns / 1e6:.0f}ms",
+    )
+    return MovingPoint(
+        lifetime_ns=lifetime_ns,
+        off=run_experiment(cfg.with_(cc=False)),
+        on=run_experiment(cfg.with_(cc=True)),
+    )
+
+
+def run_moving_figure(
+    scale: ScaleProfile | str = "default",
+    *,
+    b_fraction: float = 0.0,
+    p: float = 0.5,
+    c_fraction_of_rest: float = 0.8,
+    lifetimes_ns: Sequence[float] | None = None,
+    label: str = "",
+    seed: int = 7,
+) -> MovingFigure:
+    """A lifetime sweep.
+
+    * figure 9(a): ``c_fraction_of_rest=0.8`` (80 % C / 20 % V);
+    * figure 9(b): ``c_fraction_of_rest=0.4`` (40 % C / 60 % V);
+    * figure 10(a-c): ``b_fraction=1.0`` and ``p`` in {0.3, 0.6, 0.9}.
+    """
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+    if lifetimes_ns is None:
+        lifetimes_ns = scale.moving_lifetimes_ns
+    points = [
+        run_moving_point(
+            lt,
+            scale,
+            b_fraction=b_fraction,
+            p=p,
+            c_fraction_of_rest=c_fraction_of_rest,
+            seed=seed,
+        )
+        for lt in lifetimes_ns
+    ]
+    return MovingFigure(label=label or f"b={b_fraction:.0%}, p={p:.0%}", points=points)

@@ -1,0 +1,200 @@
+"""Generate EXPERIMENTS.md: paper-vs-measured for every table/figure.
+
+Run via ``python -m repro.experiments.report --scale default`` (writes
+EXPERIMENTS.md in the current directory) or import
+:func:`generate_report` for programmatic use. Paper reference values
+are transcribed from the published tables/figures; measured values come
+from live simulation at the chosen scale profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import io
+import time
+
+from repro.experiments.config import SCALES, ScaleProfile
+from repro.experiments.moving import run_moving_figure
+from repro.experiments.table2 import run_table2
+from repro.experiments.windy import run_windy_figure
+
+# Transcribed from the paper (648 nodes, 0.1 s per point).
+PAPER_TABLE2 = {
+    "no_hotspots_no_cc_avg": 2.699,
+    "no_hotspots_cc_avg": 2.701,
+    "hotspots_no_cc_hotspot_avg": 13.602,
+    "hotspots_no_cc_non_hotspot_avg": 0.168,
+    "hotspots_cc_hotspot_avg": 13.279,
+    "hotspots_cc_non_hotspot_avg": 2.246,
+    "total_throughput_no_cc": 216.073,
+    "total_throughput_cc": 1543.793,
+}
+
+PAPER_WINDY_NOTES = {
+    0.25: "improvement 8.6x at p=0 rising to 8.7x peak at p=60, 6.0x at p=100; "
+    "CC non-hotspot tracks 60-88% of tmax; hotspots 13.6 -> 13.3 (-2.2%)",
+    0.50: "same trends as x=25%; improvement curve more ∩-shaped",
+    0.75: "same trends; peak improvement grows, endpoint improvements shrink",
+    1.00: "3% CC penalty at p=0; ~neutral at p=100; seventeen-fold peak at p=60",
+}
+
+PAPER_MOVING_NOTES = {
+    "fig9a": "723 vs 467 Mbit/s at 10 ms (+55%), +10% at 2 ms, +4% at 1 ms",
+    "fig9b": "2.6x at 10 ms, down to +10% at 1 ms",
+    "fig10": "CC wins at every lifetime; advantage shrinks as lifetime shrinks",
+}
+
+
+def _table2_section(out, scale: ScaleProfile, seed: int) -> None:
+    t2 = run_table2(scale, seed=seed)
+    rows = t2.rows()
+    out.write("## Table II — silent forest of congestion trees (Gbit/s)\n\n")
+    out.write(f"Scale: `{scale.name}` ({scale.n_hosts} hosts, "
+              f"{scale.n_hotspots} hotspots, 80% C / 20% V).\n\n")
+    out.write("| Row | Paper (648 nodes) | Measured |\n|---|---|---|\n")
+    labels = {
+        "no_hotspots_no_cc_avg": "No hotspots, no CC — avg rcv",
+        "no_hotspots_cc_avg": "No hotspots, CC on — avg rcv",
+        "hotspots_no_cc_hotspot_avg": "Hotspots, no CC — hotspot avg",
+        "hotspots_no_cc_non_hotspot_avg": "Hotspots, no CC — non-hotspot avg",
+        "hotspots_cc_hotspot_avg": "Hotspots, CC on — hotspot avg",
+        "hotspots_cc_non_hotspot_avg": "Hotspots, CC on — non-hotspot avg",
+        "total_throughput_no_cc": "Total throughput, no CC",
+        "total_throughput_cc": "Total throughput, CC on",
+    }
+    for key, label in labels.items():
+        out.write(f"| {label} | {PAPER_TABLE2[key]:.3f} | {rows[key]:.3f} |\n")
+    paper_imp = PAPER_TABLE2["total_throughput_cc"] / PAPER_TABLE2["total_throughput_no_cc"]
+    out.write(f"| **Improvement by enabling CC** | **{paper_imp:.1f}x** "
+              f"| **{t2.improvement:.2f}x** |\n\n")
+
+
+def _windy_section(out, scale: ScaleProfile, seed: int, b_fraction: float,
+                   fig_no: int, p_values) -> None:
+    fig = run_windy_figure(b_fraction, scale, p_values=p_values, seed=seed)
+    out.write(f"## Figure {fig_no} — windy forest, {b_fraction:.0%} B nodes\n\n")
+    out.write(f"Paper: {PAPER_WINDY_NOTES[b_fraction]}.\n\n")
+    out.write("| p% | non-hs off | non-hs on | tmax | hs off | hs on | improvement |\n")
+    out.write("|---|---|---|---|---|---|---|\n")
+    for pt in fig.points:
+        out.write(
+            f"| {pt.p * 100:.0f} | {pt.off.non_hotspot:.3f} | {pt.on.non_hotspot:.3f} "
+            f"| {pt.tmax:.3f} | {pt.off.hotspot:.2f} | {pt.on.hotspot:.2f} "
+            f"| {pt.improvement:.2f}x |\n"
+        )
+    peak = fig.peak_improvement()
+    out.write(f"\nPeak improvement {peak.improvement:.2f}x at p={peak.p * 100:.0f}%.\n\n")
+
+
+def _moving_section(out, scale: ScaleProfile, seed: int) -> None:
+    out.write("## Figure 9 — moving silent congestion trees\n\n")
+    for label, c_rest, key in (
+        ("9(a) 20% V / 80% C", 0.8, "fig9a"),
+        ("9(b) 60% V / 40% C", 0.4, "fig9b"),
+    ):
+        fig = run_moving_figure(scale, c_fraction_of_rest=c_rest, label=label, seed=seed)
+        out.write(f"### {label}\n\nPaper: {PAPER_MOVING_NOTES[key]}.\n\n")
+        out.write("| lifetime (ms) | all-node rcv, no CC | all-node rcv, CC | improvement |\n")
+        out.write("|---|---|---|---|\n")
+        for pt in fig.points:
+            out.write(
+                f"| {pt.lifetime_ns / 1e6:.0f} | {pt.off.all_nodes:.3f} "
+                f"| {pt.on.all_nodes:.3f} | {pt.improvement:.2f}x |\n"
+            )
+        out.write("\n")
+
+    out.write("## Figure 10 — moving windy congestion trees (100% B nodes)\n\n")
+    out.write(f"Paper: {PAPER_MOVING_NOTES['fig10']}.\n\n")
+    for p in (0.3, 0.6, 0.9):
+        fig = run_moving_figure(scale, b_fraction=1.0, p=p,
+                                label=f"p={p:.0%}", seed=seed)
+        out.write(f"### 10 at p = {p:.0%}\n\n")
+        out.write("| lifetime (ms) | all-node rcv, no CC | all-node rcv, CC | improvement |\n")
+        out.write("|---|---|---|---|\n")
+        for pt in fig.points:
+            out.write(
+                f"| {pt.lifetime_ns / 1e6:.0f} | {pt.off.all_nodes:.3f} "
+                f"| {pt.on.all_nodes:.3f} | {pt.improvement:.2f}x |\n"
+            )
+        out.write("\n")
+
+
+def generate_report(scale: ScaleProfile | str = "default", *, seed: int = 7,
+                    p_values=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0)) -> str:
+    """Run every experiment at ``scale`` and return the markdown report."""
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+    out = io.StringIO()
+    started = time.perf_counter()
+    out.write("# EXPERIMENTS — paper vs. measured\n\n")
+    out.write(
+        "Reproduction of every evaluation artifact of *Exploring the Scope "
+        "of the InfiniBand Congestion Control Mechanism* (IPDPS 2012). "
+        "Paper numbers come from the 648-node Sun DCS 648 topology at "
+        "0.1 s per point; measured numbers from this repository at the "
+        f"`{scale.name}` scale profile ({scale.n_hosts} hosts, "
+        f"{scale.n_hotspots} hotspot subsets, "
+        f"{scale.sim_time_ns / 1e6:.0f} ms per static point, CCT slope "
+        f"{scale.cct_slope}, Marking_Rate {scale.marking_rate}). "
+        "Absolute aggregates scale with node count; the comparison "
+        "targets are the *shapes and ratios* (see DESIGN.md §3).\n\n"
+    )
+    out.write("## Table I — CC parameters\n\n")
+    out.write(
+        "Reproduced exactly in `CCParams.paper_table1()`: CCTI_Increase 1, "
+        "CCTI_Limit 127, CCTI_Min 0, CCTI_Timer 150, Threshold 15, "
+        "Marking_Rate 0, Packet_Size 0. Scaled-down profiles override "
+        "Marking_Rate (damping) and the CCT slope (contributor count); "
+        "the `paper` profile keeps Table I verbatim.\n\n"
+    )
+    out.write("## Model calibration\n\n")
+    out.write(
+        "The paper's simulator was validated against Mellanox MTS3600 "
+        "hardware; this reproduction is validated against analytic "
+        "expectations instead (`python -m repro.validation`):\n\n```\n"
+    )
+    from repro.validation import run_calibration
+
+    out.write(run_calibration().format())
+    out.write("\n```\n\n")
+    _table2_section(out, scale, seed)
+    for fig_no, x in ((5, 0.25), (6, 0.50), (7, 0.75), (8, 1.00)):
+        _windy_section(out, scale, seed, x, fig_no, p_values)
+    _moving_section(out, scale, seed)
+    out.write("## Beyond the paper\n\n")
+    out.write(
+        "Extension measurements (not paper artifacts) live in the "
+        "benchmark suite: adaptive routing vs CC "
+        "(`benchmarks/test_bench_adaptive_routing.py` — AR alone *hurts* "
+        "victims of end-node congestion, as section I predicts), CC on a "
+        "4x4 mesh (`benchmarks/test_bench_mesh.py` — the mechanism "
+        "transfers), and the parameter ablations "
+        "(`benchmarks/test_bench_ablations.py`).\n\n"
+    )
+    elapsed = time.perf_counter() - started
+    out.write("---\n\n")
+    out.write(
+        f"Generated by `python -m repro.experiments.report --scale "
+        f"{scale.name} --seed {seed}` in {elapsed / 60:.1f} minutes on "
+        f"{datetime.date.today().isoformat()}.\n"
+    )
+    return out.getvalue()
+
+
+def main(argv=None) -> int:
+    """CLI entry point: write the report to ``--output``."""
+    parser = argparse.ArgumentParser(description="Generate EXPERIMENTS.md")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="default")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", default="EXPERIMENTS.md")
+    args = parser.parse_args(argv)
+    text = generate_report(args.scale, seed=args.seed)
+    with open(args.output, "w") as fh:
+        fh.write(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

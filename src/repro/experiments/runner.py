@@ -1,0 +1,174 @@
+"""Build, run and measure one experiment."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.manager import CCManager
+from repro.engine.rng import RngRegistry
+from repro.engine.simulator import Simulator
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.analysis import group_rates, jain_fairness, tmax_gbps
+from repro.metrics.collector import Collector
+from repro.network.hca import HcaConfig
+from repro.network.network import Network, NetworkConfig
+from repro.topology.fattree import three_stage_fat_tree
+from repro.traffic.generators import BNodeSource
+from repro.traffic.hotspots import HotspotSchedule
+from repro.traffic.mixes import assign_roles
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a table/figure driver needs from one run."""
+
+    config: ExperimentConfig
+    rates_gbps: List[float]
+    hotspots: List[int]
+    groups: Dict[str, float]
+    tmax: float
+    n_b: int
+    n_c: int
+    n_v: int
+    fecn_marks: int
+    becns: int
+    events: int
+    wall_seconds: float
+
+    @property
+    def non_hotspot(self) -> float:
+        return self.groups.get("non_hotspot", float("nan"))
+
+    @property
+    def hotspot(self) -> float:
+        return self.groups.get("hotspot", float("nan"))
+
+    @property
+    def all_nodes(self) -> float:
+        return self.groups["all"]
+
+    @property
+    def total(self) -> float:
+        return self.groups["total"]
+
+    def fairness(self) -> float:
+        """Jain fairness index over the non-hotspot receive rates."""
+        others = [r for i, r in enumerate(self.rates_gbps) if i not in set(self.hotspots)]
+        return jain_fairness(others)
+
+
+def build_generators(cfg: ExperimentConfig, n_hosts: int, rng: RngRegistry, schedule: HotspotSchedule):
+    """Create one generator per node following the config's node mix.
+
+    Returns ``(generators, mix)`` where ``generators[node]`` may be None
+    (silenced contributor in the Table II "no hotspots" phases).
+    """
+    mix = assign_roles(
+        n_hosts,
+        b_fraction=cfg.b_fraction,
+        n_subsets=schedule.n_subsets,
+        hotspots=schedule.current_targets,
+        rng=rng.stream("mix"),
+        c_fraction_of_rest=cfg.c_fraction_of_rest,
+    )
+    generators: List[Optional[BNodeSource]] = []
+    for node in range(n_hosts):
+        role = mix.roles[node]
+        if role == "B":
+            p = cfg.p
+        elif role == "C":
+            p = 1.0
+        else:
+            p = 0.0
+        if role != "V" and not cfg.contributors_active:
+            if p >= 1.0:
+                generators.append(None)  # silenced pure contributor
+                continue
+            p = 0.0  # a silenced B node still sends its uniform share
+        hotspot_fn = None
+        if p > 0.0:
+            subset = mix.subset_of[node]
+            hotspot_fn = lambda s=schedule, k=subset: s.target(k)
+        generators.append(
+            BNodeSource(
+                node,
+                n_hosts,
+                p,
+                rng.stream("gen", node),
+                inj_rate_gbps=cfg.inj_rate_gbps,
+                hotspot=hotspot_fn,
+            )
+        )
+    return generators, mix
+
+
+def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
+    """Simulate one configuration and aggregate the paper's metrics."""
+    topo = three_stage_fat_tree(cfg.scale.radix)
+    n_hosts = topo.n_hosts
+    sim_time = cfg.resolved_sim_time()
+    warmup = cfg.resolved_warmup()
+
+    sim = Simulator()
+    rng = RngRegistry(cfg.seed)
+    collector = Collector(n_hosts, warmup_ns=warmup)
+    net_cfg = NetworkConfig(hca=HcaConfig(
+        inj_rate_gbps=cfg.inj_rate_gbps,
+        sink_rate_gbps=cfg.sink_rate_gbps,
+    ))
+    network = Network(sim, topo, net_cfg, collector=collector)
+
+    manager = None
+    if cfg.cc:
+        manager = CCManager(cfg.resolved_cc_params()).install(network)
+
+    schedule = HotspotSchedule.choose_initial(
+        cfg.scale.n_hotspots,
+        n_hosts,
+        rng.stream("hotspots"),
+        lifetime_ns=cfg.hotspot_lifetime_ns,
+    )
+    generators, mix = build_generators(cfg, n_hosts, rng, schedule)
+    for node, gen in enumerate(generators):
+        if gen is None:
+            continue
+        gen.bind(network.hcas[node])
+        network.hcas[node].attach_generator(gen)
+    schedule.install(sim, network.hcas)
+
+    started = time.perf_counter()
+    network.run(until=sim_time)
+    wall = time.perf_counter() - started
+
+    rates = collector.all_rx_rates_gbps(sim_time)
+    hotspots = list(schedule.current_targets)
+    groups = group_rates(rates, hotspots)
+    n_b, n_c, n_v = len(mix.b_nodes), len(mix.c_nodes), len(mix.v_nodes)
+    effective_b, effective_v = n_b, n_v
+    if not cfg.contributors_active:
+        # Silenced contributors: uniform load comes from V and B(p=0).
+        effective_b, effective_v = 0, n_v + n_b
+    tmax = tmax_gbps(
+        n_nodes=n_hosts,
+        n_b=effective_b,
+        n_v=effective_v,
+        p=cfg.p,
+        inj_rate_gbps=cfg.inj_rate_gbps,
+        sink_rate_gbps=cfg.sink_rate_gbps,
+    )
+    return ExperimentResult(
+        config=cfg,
+        rates_gbps=rates,
+        hotspots=hotspots,
+        groups=groups,
+        tmax=tmax,
+        n_b=n_b,
+        n_c=n_c,
+        n_v=n_v,
+        fecn_marks=manager.total_marks() if manager else 0,
+        becns=manager.total_becns() if manager else 0,
+        events=sim.events_executed,
+        wall_seconds=wall,
+    )

@@ -1,0 +1,121 @@
+"""Persist experiment results as JSON.
+
+Experiment points are expensive (minutes at paper scale), so the store
+lets drivers cache results keyed by their full configuration and reload
+them across sessions — e.g. to assemble EXPERIMENTS.md incrementally or
+to re-plot without re-simulating.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Optional
+
+from repro.core.parameters import CCParams
+from repro.experiments.config import SCALES, ExperimentConfig, ScaleProfile
+from repro.experiments.runner import ExperimentResult
+
+
+def config_to_dict(cfg: ExperimentConfig) -> dict:
+    """Serialize a config (including its scale profile) to plain data."""
+    out = dataclasses.asdict(cfg)
+    out["scale"] = dataclasses.asdict(cfg.scale)
+    if cfg.cc_params is not None:
+        out["cc_params"] = dataclasses.asdict(cfg.cc_params)
+    return out
+
+
+def config_key(cfg: ExperimentConfig) -> str:
+    """A stable content hash of the full configuration."""
+    blob = json.dumps(config_to_dict(cfg), sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def result_to_dict(res: ExperimentResult) -> dict:
+    """Serialize a result to JSON-compatible data."""
+    return {
+        "config": config_to_dict(res.config),
+        "rates_gbps": res.rates_gbps,
+        "hotspots": res.hotspots,
+        "groups": res.groups,
+        "tmax": res.tmax,
+        "n_b": res.n_b,
+        "n_c": res.n_c,
+        "n_v": res.n_v,
+        "fecn_marks": res.fecn_marks,
+        "becns": res.becns,
+        "events": res.events,
+        "wall_seconds": res.wall_seconds,
+    }
+
+
+def result_from_dict(data: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict` data."""
+    cfg_data = dict(data["config"])
+    scale = ScaleProfile(**{
+        k: tuple(v) if k == "moving_lifetimes_ns" else v
+        for k, v in cfg_data.pop("scale").items()
+    })
+    cc_params = cfg_data.pop("cc_params", None)
+    cfg = ExperimentConfig(
+        scale=scale,
+        cc_params=CCParams(**cc_params) if cc_params else None,
+        **cfg_data,
+    )
+    return ExperimentResult(
+        config=cfg,
+        rates_gbps=list(data["rates_gbps"]),
+        hotspots=list(data["hotspots"]),
+        groups=dict(data["groups"]),
+        tmax=data["tmax"],
+        n_b=data["n_b"],
+        n_c=data["n_c"],
+        n_v=data["n_v"],
+        fecn_marks=data["fecn_marks"],
+        becns=data["becns"],
+        events=data["events"],
+        wall_seconds=data["wall_seconds"],
+    )
+
+
+class ResultStore:
+    """A directory of JSON result files keyed by configuration hash."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, cfg: ExperimentConfig) -> str:
+        return os.path.join(self.directory, f"{config_key(cfg)}.json")
+
+    def save(self, res: ExperimentResult) -> str:
+        """Write the result's JSON file; returns its path."""
+        path = self._path(res.config)
+        with open(path, "w") as fh:
+            json.dump(result_to_dict(res), fh)
+        return path
+
+    def load(self, cfg: ExperimentConfig) -> Optional[ExperimentResult]:
+        """Load the cached result for ``cfg``, or None if absent."""
+        path = self._path(cfg)
+        if not os.path.exists(path):
+            return None
+        with open(path) as fh:
+            return result_from_dict(json.load(fh))
+
+    def get_or_run(self, cfg: ExperimentConfig) -> ExperimentResult:
+        """Load a cached result or simulate and cache it."""
+        cached = self.load(cfg)
+        if cached is not None:
+            return cached
+        from repro.experiments.runner import run_experiment
+
+        res = run_experiment(cfg)
+        self.save(res)
+        return res
+
+    def __len__(self) -> int:
+        return sum(1 for f in os.listdir(self.directory) if f.endswith(".json"))

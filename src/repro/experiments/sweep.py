@@ -1,0 +1,122 @@
+"""Generic parameter sweeps over experiment configurations.
+
+The paper stresses that CC parameter tuning "remains a highly
+specialized task"; this module makes the tuning loop a first-class
+operation: declare a grid over :class:`~repro.core.parameters.CCParams`
+fields (and/or :class:`ExperimentConfig` fields), run every cell, and
+collect a tidy result table that can be printed, charted (ASCII) or
+saved as CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+from repro.core.parameters import CCParams
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+
+@dataclass
+class SweepCell:
+    """One grid point: the parameter assignment and its result."""
+
+    assignment: Dict[str, Any]
+    result: ExperimentResult
+
+    def row(self) -> Dict[str, Any]:
+        """The assignment merged with the cell's headline metrics."""
+        out = dict(self.assignment)
+        out.update(
+            non_hotspot=self.result.non_hotspot,
+            hotspot=self.result.hotspot,
+            all_nodes=self.result.all_nodes,
+            total=self.result.total,
+            fecn_marks=self.result.fecn_marks,
+            becns=self.result.becns,
+            fairness=self.result.fairness(),
+        )
+        return out
+
+
+@dataclass
+class SweepResult:
+    cells: List[SweepCell] = field(default_factory=list)
+
+    def best_by(self, metric: str, *, maximize: bool = True) -> SweepCell:
+        """The cell with the best value of a result metric."""
+        key = lambda c: c.row()[metric]
+        return max(self.cells, key=key) if maximize else min(self.cells, key=key)
+
+    def to_csv(self) -> str:
+        """The sweep as CSV text (one row per cell)."""
+        if not self.cells:
+            raise ValueError("empty sweep")
+        rows = [c.row() for c in self.cells]
+        out = io.StringIO()
+        writer = csv.DictWriter(out, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+        return out.getvalue()
+
+    def format(self, metrics: Sequence[str] = ("non_hotspot", "hotspot", "total")) -> str:
+        """Aligned plain-text table of the sweep."""
+        if not self.cells:
+            return "(empty sweep)"
+        param_names = list(self.cells[0].assignment)
+        header = " ".join(f"{n:>12}" for n in param_names + list(metrics))
+        lines = [header]
+        for cell in self.cells:
+            row = cell.row()
+            lines.append(
+                " ".join(
+                    f"{row[n]:>12.4g}" if isinstance(row[n], float) else f"{row[n]:>12}"
+                    for n in param_names + list(metrics)
+                )
+            )
+        return "\n".join(lines)
+
+
+_CC_FIELDS = set(CCParams.__dataclass_fields__)
+_CFG_FIELDS = set(ExperimentConfig.__dataclass_fields__)
+
+
+def sweep(
+    base: ExperimentConfig,
+    grid: Mapping[str, Iterable[Any]],
+    *,
+    progress=None,
+) -> SweepResult:
+    """Run the cartesian product of ``grid`` over ``base``.
+
+    Grid keys may name either :class:`CCParams` fields (applied to the
+    config's resolved CC parameters) or :class:`ExperimentConfig`
+    fields. ``progress`` is an optional callable receiving
+    ``(index, total, assignment)`` before each run.
+    """
+    for key in grid:
+        if key not in _CC_FIELDS and key not in _CFG_FIELDS:
+            raise ValueError(f"unknown sweep parameter: {key!r}")
+    names = list(grid)
+    values = [list(v) for v in grid.values()]
+    if any(not v for v in values):
+        raise ValueError("every grid axis needs at least one value")
+    combos = list(itertools.product(*values))
+    result = SweepResult()
+    for i, combo in enumerate(combos):
+        assignment = dict(zip(names, combo))
+        cc_kw = {k: v for k, v in assignment.items() if k in _CC_FIELDS}
+        cfg_kw = {k: v for k, v in assignment.items() if k in _CFG_FIELDS}
+        cfg = base
+        if cc_kw:
+            cfg = cfg.with_(cc_params=base.resolved_cc_params().with_(**cc_kw))
+        if cfg_kw:
+            cfg = cfg.with_(**cfg_kw)
+        if progress is not None:
+            progress(i, len(combos), assignment)
+        result.cells.append(SweepCell(assignment, run_experiment(cfg)))
+    return result

@@ -1,0 +1,40 @@
+"""Measurement and analysis.
+
+:class:`~repro.metrics.collector.Collector` records per-node
+transmitted/received bytes with a warmup cutoff; the analysis helpers
+aggregate them into the quantities the paper reports — average receive
+rate per node group, total network throughput, improvement factors and
+the analytic ``tmax`` curve of figures 5–8.
+"""
+
+from repro.metrics.collector import Collector, NullCollector
+from repro.metrics.analysis import (
+    mean_rate_gbps,
+    group_rates,
+    improvement_factor,
+    tmax_gbps,
+    jain_fairness,
+)
+from repro.metrics.congestion_tree import congestion_snapshot, congested_ports
+from repro.metrics.timeseries import TimeSeries
+from repro.metrics.tree_tracker import CongestionTreeTracker, TreeDynamics
+from repro.metrics.ascii_chart import sparkline, line_chart
+from repro.metrics.latency import LatencyTracker
+
+__all__ = [
+    "Collector",
+    "NullCollector",
+    "mean_rate_gbps",
+    "group_rates",
+    "improvement_factor",
+    "tmax_gbps",
+    "jain_fairness",
+    "congestion_snapshot",
+    "congested_ports",
+    "TimeSeries",
+    "CongestionTreeTracker",
+    "TreeDynamics",
+    "sparkline",
+    "line_chart",
+    "LatencyTracker",
+]

@@ -1,0 +1,84 @@
+"""Terminal rendering of experiment series.
+
+No plotting stack is assumed (the reference environment is offline);
+these helpers render the paper's figure panels as ASCII charts so the
+CLI can show the *shape* of a result — the quantity the reproduction is
+judged on — directly in the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line sparkline (unicode block elements)."""
+    blocks = "▁▂▃▄▅▆▇█"
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return blocks[0] * len(vals)
+    span = hi - lo
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in vals)
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    x: Sequence[float],
+    *,
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more aligned series as an ASCII line chart.
+
+    Each series gets a marker character (``*``, ``o``, ``+``, ``x`` in
+    order); overlapping points show the later series' marker.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    markers = "*o+x#@"
+    names = list(series)
+    all_vals = [v for vals in series.values() for v in vals]
+    if not all_vals:
+        raise ValueError("series are empty")
+    lo = min(all_vals + [0.0])
+    hi = max(all_vals)
+    if hi <= lo:
+        hi = lo + 1.0
+    xs = list(x)
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, name in enumerate(names):
+        marker = markers[idx % len(markers)]
+        for xv, yv in zip(xs, series[name]):
+            col = int((xv - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((yv - lo) / (hi - lo) * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{hi:8.2f} |"
+        elif i == height - 1:
+            label = f"{lo:8.2f} |"
+        else:
+            label = " " * 9 + "|"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    footer = f"{x_lo:<10.3g}{'':^{max(0, width - 20)}}{x_hi:>10.3g}"
+    lines.append(" " * 10 + footer)
+    if x_label:
+        lines.append(" " * 10 + x_label.center(width))
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Adaptive routing baseline.
+
+The paper's introduction discusses adaptive routing (AR) as an
+alternative congestion countermeasure and argues it cannot substitute
+for CC: "When there is no possible route around an area of congestion
+(e.g. end node congestion), trying to reroute around the problem will
+only make the branches of the congestion tree spread out and cause more
+HOL blocking" — and notes the IB spec does not support AR at all. This
+module implements that baseline so the claim can be measured (see
+``benchmarks/test_bench_adaptive_routing.py``).
+
+On a folded-Clos fat-tree, any spine reaches any leaf, so the *only*
+routing freedom is the leaf's choice of up-port. The
+:class:`AdaptiveUpRouter` replaces a leaf switch's d-mod-k up-port
+selection with least-loaded selection over live queue state (output
+queue bytes + VoQ backlog − available credits). Down-routing and local
+delivery stay deterministic, which preserves up*/down* deadlock
+freedom.
+
+Note: selection is per packet, so a flow's packets may interleave
+across spines. Real IB transports would need per-flow path consistency;
+for the throughput questions studied here reordering is irrelevant, and
+the paper's argument is about load placement, not ordering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.network.packet import Packet
+
+
+class AdaptiveUpRouter:
+    """Least-loaded up-port selection for one leaf switch."""
+
+    __slots__ = ("switch", "lft", "up_ports", "_up_set", "adaptive_decisions")
+
+    def __init__(self, switch, lft: Sequence[int], up_ports: Sequence[int]) -> None:
+        if not up_ports:
+            raise ValueError("need at least one up port")
+        self.switch = switch
+        self.lft = lft
+        self.up_ports = list(up_ports)
+        self._up_set = frozenset(up_ports)
+        self.adaptive_decisions = 0
+
+    def _load(self, port: int, vl: int) -> float:
+        out = self.switch.output_ports[port]
+        backlog = out.queue_bytes + self.switch.arbiters[port].queued_bytes[vl]
+        # Missing credits indicate downstream pressure on this VL.
+        credit_deficit = max(0.0, out.capacity - out.credits[vl])
+        return backlog + credit_deficit
+
+    def route(self, pkt: Packet) -> int:
+        """Routing decision for ``pkt`` (adaptive on the up stage)."""
+        deterministic = self.lft[pkt.dst]
+        if deterministic not in self._up_set:
+            return deterministic  # local delivery (or a down port)
+        vl = pkt.vl
+        best = deterministic
+        best_load = self._load(deterministic, vl)
+        for port in self.up_ports:
+            load = self._load(port, vl)
+            if load < best_load:
+                best, best_load = port, load
+        self.adaptive_decisions += 1
+        return best
+
+
+def install_adaptive_routing(network) -> List[AdaptiveUpRouter]:
+    """Enable adaptive up-routing on every leaf of a folded-Clos network.
+
+    Requires the topology to carry folded-Clos metadata (built by
+    :func:`repro.topology.fattree.folded_clos`). Returns the installed
+    routers (one per leaf).
+    """
+    meta = network.topology.meta
+    for key in ("n_leaves", "n_spines", "hosts_per_leaf"):
+        if key not in meta:
+            raise ValueError(
+                "adaptive routing requires a folded-Clos topology "
+                f"(missing {key!r} in topology metadata)"
+            )
+    hpl = meta["hosts_per_leaf"]
+    n_spines = meta["n_spines"]
+    up_ports = list(range(hpl, hpl + n_spines))
+    routers = []
+    for leaf in range(meta["n_leaves"]):
+        switch = network.switches[leaf]
+        router = AdaptiveUpRouter(switch, switch.lft, up_ports)
+        switch.router = router
+        routers.append(router)
+    return routers

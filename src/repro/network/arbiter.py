@@ -1,0 +1,106 @@
+"""The *vlarb*: per-output-port round-robin arbitration.
+
+One :class:`VLArbiter` exists per switch output port. It round-robins
+over virtual lanes and, within a VL, over the input ports whose VoQ for
+this output is non-empty. Round-robin over inputs is what produces the
+per-port fair sharing of a saturated output that the paper's Table II
+numbers rely on (see also the authors' companion work on switch
+arbitration and fairness, CCGRID'11).
+
+The arbiter also maintains ``queued_bytes[vl]`` — the total bytes
+queued across all input VoQs destined to this output Port VL — which is
+the quantity the switch-side CC threshold (section II.1 of the paper)
+is evaluated against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from repro.network.packet import Packet
+
+
+class VLArbiter:
+    """Round-robin arbiter for one switch output port (see module doc)."""
+
+    __slots__ = (
+        "switch",
+        "out_index",
+        "n_vls",
+        "queued_bytes",
+        "_active",
+        "_is_active",
+        "_rr_vl",
+        "_kicking",
+        "grants",
+    )
+
+    def __init__(self, switch, out_index: int, n_vls: int = 1) -> None:
+        self.switch = switch
+        self.out_index = out_index
+        self.n_vls = n_vls
+        self.queued_bytes: List[int] = [0] * n_vls
+        # Per VL: rotation order of input ports with a non-empty VoQ.
+        self._active: List[deque] = [deque() for _ in range(n_vls)]
+        # Membership flags to keep the active list duplicate-free.
+        self._is_active: List[List[bool]] = [
+            [False] * switch.n_ports for _ in range(n_vls)
+        ]
+        self._rr_vl = 0
+        self._kicking = False
+        self.grants = 0
+
+    def on_packet_queued(self, in_port: int, vl: int, pkt: Packet) -> None:
+        """Register a newly queued packet and try to grant."""
+        self.queued_bytes[vl] += pkt.wire_size
+        if not self._is_active[vl][in_port]:
+            self._is_active[vl][in_port] = True
+            self._active[vl].append(in_port)
+        self.kick()
+
+    def kick(self) -> None:
+        """Grant as many packets as output-buffer space allows.
+
+        Re-entrant calls (the output port's ``on_space`` firing while a
+        grant is in progress) are coalesced into the running loop.
+        """
+        if self._kicking:
+            return
+        self._kicking = True
+        try:
+            out = self.switch.output_ports[self.out_index]
+            inputs = self.switch.input_ports
+            n_vls = self.n_vls
+            while True:
+                granted = False
+                for _ in range(n_vls):
+                    vl = self._rr_vl
+                    self._rr_vl = (vl + 1) % n_vls
+                    act = self._active[vl]
+                    if not act:
+                        continue
+                    ip = act[0]
+                    voq = inputs[ip].voqs[self.out_index][vl]
+                    pkt = voq[0]
+                    if not out.has_space(pkt.wire_size):
+                        continue
+                    inputs[ip].grant(self.out_index, vl)
+                    self.queued_bytes[vl] -= pkt.wire_size
+                    self.grants += 1
+                    act.popleft()
+                    if voq:
+                        act.append(ip)  # rotate: fair round robin
+                    else:
+                        self._is_active[vl][ip] = False
+                    out.enqueue(pkt)
+                    granted = True
+                    break
+                if not granted:
+                    return
+        finally:
+            self._kicking = False
+
+    def total_queued(self, vl: int) -> int:
+        """Bytes waiting in input VoQs for this output Port VL."""
+        return self.queued_bytes[vl]

@@ -1,0 +1,137 @@
+"""Deadlock detection.
+
+A lossless, credit-based network can deadlock when buffer dependencies
+form a cycle — e.g. dimension-order routing on a torus ring without
+dateline VLs. In the event-driven model a deadlock has a crisp
+signature: the event queue runs dry (or only periodic bookkeeping
+events remain) while packets still sit in buffers that will never
+drain.
+
+:func:`detect_deadlock` inspects a network after ``sim.run`` returns;
+:class:`DeadlockWatchdog` samples progress during a run and fires a
+callback the first time no packet moved for a full interval while data
+is buffered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+@dataclass
+class DeadlockReport:
+    deadlocked: bool
+    buffered_bytes: int
+    stuck_ports: List[Tuple[int, int]] = field(default_factory=list)
+
+    def format(self) -> str:
+        """One-line human-readable verdict."""
+        if not self.deadlocked:
+            return "no deadlock: all buffers drained"
+        ports = ", ".join(f"switch {s} port {p}" for s, p in self.stuck_ports[:8])
+        more = "" if len(self.stuck_ports) <= 8 else f" (+{len(self.stuck_ports) - 8} more)"
+        return (
+            f"DEADLOCK: {self.buffered_bytes} bytes wedged in "
+            f"{len(self.stuck_ports)} VoQs: {ports}{more}"
+        )
+
+
+def detect_deadlock(network) -> DeadlockReport:
+    """Post-mortem check: data buffered but nothing left to happen.
+
+    Call after ``sim.run()`` returned with no ``until`` bound (so the
+    event queue is genuinely empty) — any bytes still buffered then can
+    never move.
+    """
+    buffered = network.total_buffered_bytes()
+    if network.sim.peek() is not None or buffered == 0:
+        return DeadlockReport(False, buffered)
+    stuck = []
+    for sw in network.switches:
+        for out in range(sw.n_ports):
+            for vl in range(sw.n_vls):
+                if sw.arbiters[out].queued_bytes[vl] > 0:
+                    stuck.append((sw.node_id, out))
+                    break
+    return DeadlockReport(True, buffered, stuck)
+
+
+class DeadlockWatchdog:
+    """Online progress monitor.
+
+    Every ``interval_ns`` it compares total packets delivered network
+    wide against the previous sample; if no packet moved while bytes
+    are buffered, ``on_deadlock`` fires (once) with a
+    :class:`DeadlockReport`.
+
+    Like every self-rescheduling monitor, run the simulation with a
+    time bound (``sim.run(until=...)``) while a watchdog is armed, or
+    call :meth:`stop` first - otherwise the periodic tick keeps the
+    event loop alive forever.
+    """
+
+    __slots__ = (
+        "network",
+        "interval_ns",
+        "on_deadlock",
+        "_last_count",
+        "fired",
+        "_running",
+    )
+
+    def __init__(
+        self,
+        network,
+        interval_ns: float,
+        *,
+        on_deadlock: Optional[Callable[[DeadlockReport], None]] = None,
+    ) -> None:
+        if interval_ns <= 0:
+            raise ValueError("interval must be positive")
+        self.network = network
+        self.interval_ns = interval_ns
+        self.on_deadlock = on_deadlock
+        self._last_count = -1
+        self.fired = False
+        self._running = False
+
+    def _delivered(self) -> int:
+        return sum(ip.packets_received for sw in self.network.switches
+                   for ip in sw.input_ports)
+
+    def start(self) -> "DeadlockWatchdog":
+        """Arm the watchdog (idempotent); returns self."""
+        if not self._running:
+            self._running = True
+            self.network.sim.schedule(self.interval_ns, self._tick)
+        return self
+
+    def stop(self) -> None:
+        """Disarm; the pending tick becomes a no-op."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        count = self._delivered()
+        buffered = self.network.total_buffered_bytes()
+        if (
+            not self.fired
+            and count == self._last_count
+            and buffered > 0
+        ):
+            self.fired = True
+            if self.on_deadlock is not None:
+                stuck = [
+                    (sw.node_id, out)
+                    for sw in self.network.switches
+                    for out in range(sw.n_ports)
+                    if any(
+                        sw.arbiters[out].queued_bytes[vl] > 0
+                        for vl in range(sw.n_vls)
+                    )
+                ]
+                self.on_deadlock(DeadlockReport(True, buffered, stuck))
+        self._last_count = count
+        self.network.sim.schedule(self.interval_ns, self._tick)

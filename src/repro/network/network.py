@@ -1,0 +1,138 @@
+"""Instantiate and wire a live network from a topology blueprint.
+
+:class:`Network` is the composition root: it builds one
+:class:`~repro.network.switch.Switch` per :class:`SwitchSpec`, one
+:class:`~repro.network.hca.Hca` per host, cables them per the
+topology's links (initializing flow-control credits to the downstream
+input-buffer capacity), and installs the linear forwarding tables.
+Traffic sources, CC state and metric collectors attach afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.engine.simulator import Simulator
+from repro.network.hca import Hca, HcaConfig
+from repro.network.ports import LinkConfig, OutputPort
+from repro.network.switch import Switch
+from repro.topology.spec import Topology
+
+
+class NetworkConfig:
+    """Knobs shared by all components of one network instance."""
+
+    __slots__ = (
+        "link",
+        "hca",
+        "switch_ibuf_capacity",
+        "switch_obuf_capacity",
+        "n_vls",
+    )
+
+    def __init__(
+        self,
+        *,
+        link: Optional[LinkConfig] = None,
+        hca: Optional[HcaConfig] = None,
+        switch_ibuf_capacity: int = 16384,
+        switch_obuf_capacity: int = 8192,
+        n_vls: int = 2,
+    ) -> None:
+        self.link = link or LinkConfig()
+        self.hca = hca or HcaConfig(n_vls=n_vls)
+        if self.hca.n_vls != n_vls:
+            raise ValueError("HcaConfig.n_vls must match NetworkConfig.n_vls")
+        self.switch_ibuf_capacity = switch_ibuf_capacity
+        self.switch_obuf_capacity = switch_obuf_capacity
+        self.n_vls = n_vls
+
+
+def _connect(out_port: OutputPort, in_port, prop_delay_ns: float, n_vls: int) -> None:
+    """Cable one direction of a link and hand out initial credits."""
+    out_port.peer = in_port
+    in_port.upstream = out_port
+    in_port.credit_delay_ns = prop_delay_ns
+    out_port.credits = [float(in_port.capacity)] * n_vls
+
+
+class Network:
+    """A live, wired network ready for traffic.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel all components schedule on.
+    topology:
+        Blueprint (validated on construction).
+    config:
+        Shared component parameters.
+    collector:
+        Optional metrics collector given to every HCA.
+    """
+
+    __slots__ = ("sim", "topology", "config", "switches", "hcas", "collector")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        config: Optional[NetworkConfig] = None,
+        *,
+        collector=None,
+    ) -> None:
+        topology.validate()
+        config = config or NetworkConfig()
+        self.sim = sim
+        self.topology = topology
+        self.config = config
+        self.collector = collector
+
+        self.switches: List[Switch] = [
+            Switch(
+                sim,
+                spec.switch_id,
+                spec.n_ports,
+                link=config.link,
+                ibuf_capacity=config.switch_ibuf_capacity,
+                obuf_capacity=config.switch_obuf_capacity,
+                n_vls=config.n_vls,
+            )
+            for spec in topology.switches
+        ]
+        self.hcas: List[Hca] = [
+            Hca(sim, host_id, link=config.link, config=config.hca)
+            for host_id in range(topology.n_hosts)
+        ]
+        for hca in self.hcas:
+            hca.metrics = collector
+
+        prop = config.link.prop_delay_ns
+        for hl in topology.host_links:
+            sw = self.switches[hl.switch_id]
+            hca = self.hcas[hl.host_id]
+            _connect(hca.obuf, sw.input_ports[hl.switch_port], prop, config.n_vls)
+            _connect(sw.output_ports[hl.switch_port], hca.input_port, prop, config.n_vls)
+        for sl in topology.switch_links:
+            a = self.switches[sl.switch_a]
+            b = self.switches[sl.switch_b]
+            _connect(a.output_ports[sl.port_a], b.input_ports[sl.port_b], prop, config.n_vls)
+            _connect(b.output_ports[sl.port_b], a.input_ports[sl.port_a], prop, config.n_vls)
+
+        for sw, lft in zip(self.switches, topology.lfts):
+            sw.set_lft(lft)
+
+    # -- convenience -----------------------------------------------------
+    def run(self, until: float) -> None:
+        """Advance the simulation to virtual time ``until`` (ns)."""
+        self.sim.run(until=until)
+
+    def total_buffered_bytes(self) -> int:
+        """Bytes sitting in all switch input buffers right now."""
+        return sum(sw.total_buffered() for sw in self.switches)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network({self.topology.name}: {len(self.hcas)} hosts, "
+            f"{len(self.switches)} switches)"
+        )

@@ -1,0 +1,126 @@
+"""Packets and flow identification.
+
+A :class:`Packet` models one InfiniBand packet: up to one MTU of
+payload plus a fixed header/CRC overhead. The congestion-control
+machinery uses two header bits, exactly as in the IB spec:
+
+* ``fecn`` — Forward Explicit Congestion Notification, set by a switch
+  whose output Port VL is in the congestion state as the packet passes
+  through it;
+* ``becn`` — Backward Explicit Congestion Notification, set on the
+  notification packet (CNP) the destination returns to the source.
+
+Flows are identified by ``(source, destination)`` node-id pairs — the
+paper runs CC at the Queue Pair level with one active QP per
+communicating pair, so a flow key *is* the QP identity for our
+purposes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+FlowKey = Tuple[int, int]
+
+# IB local route header + base transport header + ICRC/VCRC, rounded.
+DEFAULT_HEADER_BYTES = 30
+# Size of a congestion notification packet (CNP) on the wire.
+CNP_WIRE_BYTES = 64
+
+
+class Packet:
+    """One InfiniBand packet.
+
+    Attributes
+    ----------
+    src, dst:
+        End-node ids (HCA indices in the topology).
+    payload:
+        Payload bytes (what throughput is measured in).
+    wire_size:
+        Bytes occupying links and buffers (payload + header overhead).
+    vl, sl:
+        Virtual lane / service level. Experiments in the paper use a
+        single data VL; CNPs may be configured onto a separate VL.
+    flow:
+        ``(src, dst)`` — QP-level flow identity for CC state.
+    msg_id:
+        Id of the message this packet belongs to (messages are two
+        packets in the paper's setup).
+    fecn, becn:
+        Congestion notification bits (see module docstring).
+    is_control:
+        True for CNPs: exempt from FECN marking, CC throttling and
+        generator budget accounting.
+    t_inject:
+        Virtual time the packet entered the source HCA output buffer.
+    """
+
+    __slots__ = (
+        "src",
+        "dst",
+        "payload",
+        "wire_size",
+        "vl",
+        "sl",
+        "flow",
+        "msg_id",
+        "fecn",
+        "becn",
+        "is_control",
+        "t_inject",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        payload: int,
+        *,
+        header: int = DEFAULT_HEADER_BYTES,
+        vl: int = 0,
+        sl: int = 0,
+        msg_id: int = -1,
+    ) -> None:
+        if src == dst:
+            raise ValueError("a packet cannot be addressed to its own source")
+        if payload < 0:
+            raise ValueError("payload must be non-negative")
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.wire_size = payload + header
+        self.vl = vl
+        self.sl = sl
+        self.flow: FlowKey = (src, dst)
+        self.msg_id = msg_id
+        self.fecn = False
+        self.becn = False
+        self.is_control = False
+        self.t_inject = -1.0
+
+    @classmethod
+    def cnp(cls, src: int, dst: int, *, vl: int = 0, sl: int = 0) -> "Packet":
+        """Build a Congestion Notification Packet.
+
+        ``src`` is the node *returning* the notification (the original
+        destination); ``dst`` is the original source being told to
+        throttle. The CNP's ``flow`` is rewritten to the original
+        data-flow key ``(dst, src)`` so the receiver can index its CCT
+        state directly.
+        """
+        pkt = cls(src, dst, 0, header=CNP_WIRE_BYTES, vl=vl, sl=sl)
+        pkt.becn = True
+        pkt.is_control = True
+        pkt.flow = (dst, src)
+        return pkt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bits = "".join(
+            b for b, on in (("F", self.fecn), ("B", self.becn), ("C", self.is_control)) if on
+        )
+        return (
+            f"Packet({self.src}->{self.dst}, {self.payload}B, vl={self.vl}"
+            + (f", {bits}" if bits else "")
+            + ")"
+        )

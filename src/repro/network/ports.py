@@ -1,0 +1,278 @@
+"""Output ports (obuf) and switch input ports (ibuf).
+
+The credit-based link-level flow control of InfiniBand lives here:
+
+* an :class:`OutputPort` may start transmitting a packet only when it
+  holds enough credits (bytes of downstream buffer space on the
+  packet's VL);
+* a :class:`SwitchInputPort` returns credits to its upstream output
+  port when a packet leaves the input buffer through the crossbar.
+
+Because credits can never go negative and the downstream buffer is
+sized exactly to the credits handed out, packets are **never dropped**
+— blocking propagates upstream instead (backpressure), which is what
+grows congestion trees.
+
+Virtual lanes are kept separate end to end: the output buffer holds one
+FIFO per VL and round-robins over the VLs whose head packet is covered
+by credits, so a congested data VL can never head-of-line block the
+(e.g.) CNP VL — matching real IB egress behaviour where the VL
+arbitration happens at the transmit stage.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional
+
+from repro.engine.simulator import Simulator
+from repro.network.packet import Packet
+
+
+class LinkConfig:
+    """Physical link parameters.
+
+    Parameters
+    ----------
+    rate_gbps:
+        Raw signalling rate in Gbit/s. The paper uses 20 Gbit/s
+        (4x DDR).
+    prop_delay_ns:
+        One-way propagation delay; also used as the latency of credit
+        (flow-control) updates travelling on the reverse channel.
+    """
+
+    __slots__ = ("rate_gbps", "prop_delay_ns", "byte_time_ns")
+
+    def __init__(self, rate_gbps: float = 20.0, prop_delay_ns: float = 50.0) -> None:
+        if rate_gbps <= 0:
+            raise ValueError("link rate must be positive")
+        if prop_delay_ns < 0:
+            raise ValueError("propagation delay must be non-negative")
+        self.rate_gbps = rate_gbps
+        self.prop_delay_ns = prop_delay_ns
+        # Gbit/s -> bytes/ns is rate/8; byte time is its reciprocal.
+        self.byte_time_ns = 8.0 / rate_gbps
+
+
+class OutputPort:
+    """An *obuf*: per-VL transmit queues driving one link.
+
+    The port serializes one packet at a time at the link rate. Among
+    the VLs whose head packet is covered by downstream credits, VLs are
+    served round-robin. CC marking is invoked through the ``cc`` hook
+    when a packet begins transmission (i.e. when it passes through the
+    Port VL), matching where the IB spec performs FECN marking.
+    """
+
+    __slots__ = (
+        "sim",
+        "link",
+        "capacity",
+        "queues",
+        "queue_bytes",
+        "credits",
+        "busy",
+        "peer",
+        "cc",
+        "port_index",
+        "on_space",
+        "bytes_sent",
+        "packets_sent",
+        "vlarb",
+        "_rr_vl",
+        "_n_vls",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: LinkConfig,
+        *,
+        capacity: int = 8192,
+        n_vls: int = 1,
+        port_index: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.link = link
+        self.capacity = capacity
+        self.queues: List[deque] = [deque() for _ in range(n_vls)]
+        self.queue_bytes = 0
+        # Filled in when the downstream input buffer is attached.
+        self.credits: List[float] = [0.0] * n_vls
+        self.busy = False
+        self.peer = None  # downstream object exposing .deliver(pkt)
+        self.cc = None  # SwitchCC hook or None
+        self.port_index = port_index
+        self.on_space: Optional[Callable[[], None]] = None
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        # Optional richer egress scheduler (repro.network.vlarb); None
+        # means plain round robin over credit-covered VLs.
+        self.vlarb = None
+        self._rr_vl = 0
+        self._n_vls = n_vls
+
+    # -- capacity -------------------------------------------------------
+    def has_space(self, wire_size: int) -> bool:
+        """Whether ``wire_size`` more bytes fit in the transmit queue."""
+        return self.queue_bytes + wire_size <= self.capacity
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - self.queue_bytes
+
+    def queued_packets(self) -> int:
+        """Packets currently waiting across all VL queues."""
+        return sum(len(q) for q in self.queues)
+
+    # -- enqueue/dequeue --------------------------------------------------
+    def enqueue(self, pkt: Packet, *, front: bool = False) -> None:
+        """Add a packet to its VL's transmit queue.
+
+        ``front=True`` gives head-of-queue priority within the VL (used
+        only for CNPs at the source HCA, mirroring hardware that
+        expedites notifications).
+        """
+        q = self.queues[pkt.vl]
+        if front:
+            q.appendleft(pkt)
+        else:
+            q.append(pkt)
+        self.queue_bytes += pkt.wire_size
+        self.try_send()
+
+    def on_credit(self, arg) -> None:
+        """Credit return from downstream: ``arg = (vl, nbytes)``."""
+        vl, nbytes = arg
+        self.credits[vl] += nbytes
+        self.try_send()
+
+    def try_send(self) -> None:
+        """Start transmitting an eligible head packet, if any.
+
+        Picks the next VL (round robin from the last served VL) whose
+        head packet fits its credits; a credit-starved VL never blocks
+        the others.
+        """
+        if self.busy:
+            return
+        queues = self.queues
+        credits = self.credits
+        n_vls = self._n_vls
+        pkt = None
+        if self.vlarb is not None:
+            vl = self.vlarb.select(queues, credits)
+            if vl is not None:
+                pkt = queues[vl].popleft()
+        else:
+            for i in range(n_vls):
+                vl = (self._rr_vl + i) % n_vls
+                q = queues[vl]
+                if q and credits[vl] >= q[0].wire_size:
+                    pkt = q.popleft()
+                    self._rr_vl = (vl + 1) % n_vls
+                    break
+        if pkt is None:
+            return
+        wire = pkt.wire_size
+        self.queue_bytes -= wire
+        credits[pkt.vl] -= wire
+        self.busy = True
+        if self.cc is not None and not pkt.is_control:
+            self.cc.on_transmit(self.port_index, pkt, credits[pkt.vl])
+        self.bytes_sent += wire
+        self.packets_sent += 1
+        self.sim.schedule(wire * self.link.byte_time_ns, self._tx_done, pkt)
+        if self.on_space is not None:
+            self.on_space()
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self.busy = False
+        self.sim.schedule(self.link.prop_delay_ns, self.peer.deliver, pkt)
+        self.try_send()
+
+
+class SwitchInputPort:
+    """An *ibuf*: per-VL shared buffer with virtual output queues.
+
+    The buffer space on each VL is shared by all virtual output queues
+    — that sharing is precisely what lets a saturated hot-spot output
+    exhaust the credits of the upstream link and HOL-block flows headed
+    elsewhere (congestion spreading). Packets are sorted into a VoQ per
+    (output port, VL) on arrival; the per-output :class:`VLArbiter`
+    drains them.
+    """
+
+    __slots__ = (
+        "sim",
+        "switch",
+        "port_id",
+        "capacity",
+        "occupancy",
+        "voqs",
+        "upstream",
+        "credit_delay_ns",
+        "packets_received",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch,
+        port_id: int,
+        *,
+        capacity: int = 16384,
+        n_vls: int = 1,
+    ) -> None:
+        self.sim = sim
+        self.switch = switch
+        self.port_id = port_id
+        self.capacity = capacity
+        self.occupancy: List[int] = [0] * n_vls
+        # voqs[out_port][vl] -> deque of packets
+        self.voqs: List[List[deque]] = [
+            [deque() for _ in range(n_vls)] for _ in range(switch.n_ports)
+        ]
+        self.upstream: Optional[OutputPort] = None
+        self.credit_delay_ns = 0.0
+        self.packets_received = 0
+
+    def deliver(self, pkt: Packet) -> None:
+        """Accept a packet from the wire: route it and queue in its VoQ."""
+        vl = pkt.vl
+        occ = self.occupancy[vl] + pkt.wire_size
+        if occ > self.capacity:
+            raise RuntimeError(
+                f"flow-control violation: ibuf overflow at switch "
+                f"{self.switch.node_id} port {self.port_id} vl {vl} "
+                f"({occ} > {self.capacity})"
+            )
+        self.occupancy[vl] = occ
+        self.packets_received += 1
+        out = self.switch.route(pkt)
+        if out == self.port_id:
+            raise RuntimeError(
+                f"routing loop: packet for node {pkt.dst} routed back out "
+                f"port {out} of switch {self.switch.node_id}"
+            )
+        self.voqs[out][vl].append(pkt)
+        self.switch.arbiters[out].on_packet_queued(self.port_id, vl, pkt)
+
+    def grant(self, out_port: int, vl: int) -> Packet:
+        """Arbiter callback: move the VoQ head into the crossbar.
+
+        Frees the buffer space and schedules the credit return to the
+        upstream output port after the reverse-channel delay.
+        """
+        pkt = self.voqs[out_port][vl].popleft()
+        wire = pkt.wire_size
+        self.occupancy[vl] -= wire
+        if self.upstream is not None:
+            self.sim.schedule(self.credit_delay_ns, self.upstream.on_credit, (vl, wire))
+        return pkt
+
+    def voq_head(self, out_port: int, vl: int) -> Optional[Packet]:
+        """Peek the head packet of one VoQ (None when empty)."""
+        q = self.voqs[out_port][vl]
+        return q[0] if q else None

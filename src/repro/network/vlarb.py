@@ -1,0 +1,104 @@
+"""Weighted / prioritized virtual-lane arbitration.
+
+InfiniBand's VL arbitration is configured through high- and
+low-priority tables of (VL, weight) entries; the egress scheduler
+serves high-priority VLs first and splits bandwidth within a priority
+level proportionally to the weights. The default model (plain round
+robin over VLs, as the paper's single-data-VL experiments need) lives
+in :class:`~repro.network.ports.OutputPort`; this module provides the
+spec's richer behaviour as an opt-in egress scheduler:
+
+* strict priority between levels (e.g. expedite the CNP VL);
+* deficit-weighted round robin within a level.
+
+Install on every output port of a network with
+:func:`install_vl_arbitration`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+_QUANTUM = 2048  # bytes of deficit added per weight unit per round
+
+
+class VlArbitrationTable:
+    """Egress VL scheduler: strict priority levels + weighted shares.
+
+    Parameters
+    ----------
+    priority:
+        One integer per VL; higher values are served strictly first.
+    weight:
+        One positive integer per VL; within a priority level,
+        bandwidth is shared proportionally to these (deficit round
+        robin with a 2 KiB quantum).
+    """
+
+    __slots__ = ("priority", "weight", "_deficit", "n_vls")
+
+    def __init__(self, priority: Sequence[int], weight: Sequence[int]) -> None:
+        if len(priority) != len(weight):
+            raise ValueError("priority and weight must have one entry per VL")
+        if not priority:
+            raise ValueError("need at least one VL")
+        if any(w < 1 for w in weight):
+            raise ValueError("weights must be >= 1")
+        self.priority = list(priority)
+        self.weight = list(weight)
+        self._deficit: List[float] = [0.0] * len(priority)
+        self.n_vls = len(priority)
+
+    def select(self, queues, credits) -> Optional[int]:
+        """Pick the next VL to transmit from, or None if all blocked.
+
+        ``queues[vl]`` are the per-VL FIFOs; ``credits[vl]`` the
+        available downstream credits. Only VLs whose head packet is
+        credit-covered compete.
+        """
+        candidates = [
+            vl
+            for vl in range(self.n_vls)
+            if queues[vl] and credits[vl] >= queues[vl][0].wire_size
+        ]
+        if not candidates:
+            return None
+        top = max(self.priority[vl] for vl in candidates)
+        level = [vl for vl in candidates if self.priority[vl] == top]
+        if len(level) == 1:
+            return level[0]
+        deficit = self._deficit
+        while True:
+            for vl in level:
+                if deficit[vl] >= queues[vl][0].wire_size:
+                    deficit[vl] -= queues[vl][0].wire_size
+                    return vl
+            for vl in level:
+                deficit[vl] += self.weight[vl] * _QUANTUM
+
+    def clone(self) -> "VlArbitrationTable":
+        """A fresh table with the same configuration (deficits reset)."""
+        return VlArbitrationTable(self.priority, self.weight)
+
+
+def install_vl_arbitration(
+    network, priority: Sequence[int], weight: Sequence[int]
+) -> int:
+    """Install a (priority, weight) VL arbitration on every output port.
+
+    Each port receives its own deficit state. Returns the number of
+    ports configured.
+    """
+    if len(priority) != network.config.n_vls:
+        raise ValueError("need one priority entry per configured VL")
+    template = VlArbitrationTable(priority, weight)
+    count = 0
+    for sw in network.switches:
+        for out in sw.output_ports:
+            out.vlarb = template.clone()
+            count += 1
+    for hca in network.hcas:
+        hca.obuf.vlarb = template.clone()
+        count += 1
+    return count

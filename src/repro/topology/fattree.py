@@ -1,0 +1,106 @@
+"""Fat-tree builders (folded Clos) with d-mod-k routing.
+
+``three_stage_fat_tree(radix)`` builds the topology family of the Sun
+Datacenter InfiniBand Switch 648: ``radix`` leaf crossbars each hosting
+``radix/2`` end nodes and uplinking once to each of ``radix/2`` spine
+crossbars. Every host-to-host path crosses at most three switch stages
+(leaf, spine, leaf), the network is non-blocking (uplink capacity
+equals host capacity at every leaf), and the d-mod-k up-routing spreads
+destinations uniformly over spines while keeping routes deterministic
+— the combination the paper's congestion trees grow on.
+"""
+
+from __future__ import annotations
+
+from repro.topology.spec import HostLink, SwitchLink, SwitchSpec, Topology
+
+
+def folded_clos(
+    n_leaves: int,
+    n_spines: int,
+    hosts_per_leaf: int,
+    *,
+    name: str = "folded-clos",
+) -> Topology:
+    """Build a two-level folded Clos (three switch stages end-to-end).
+
+    Leaf ``l`` uses ports ``0..hosts_per_leaf-1`` for hosts and ports
+    ``hosts_per_leaf..hosts_per_leaf+n_spines-1`` for its uplinks; spine
+    ``s`` uses port ``l`` for leaf ``l``. Routing is d-mod-k: leaf
+    up-routes destination ``d`` through spine ``d mod n_spines``.
+    """
+    if n_leaves <= 0 or n_spines <= 0 or hosts_per_leaf <= 0:
+        raise ValueError("all dimensions must be positive")
+    n_hosts = n_leaves * hosts_per_leaf
+    leaf_ports = hosts_per_leaf + n_spines
+    spine_ports = n_leaves
+
+    switches = [SwitchSpec(l, leaf_ports) for l in range(n_leaves)]
+    switches += [SwitchSpec(n_leaves + s, spine_ports) for s in range(n_spines)]
+
+    host_links = [
+        HostLink(host_id=l * hosts_per_leaf + i, switch_id=l, switch_port=i)
+        for l in range(n_leaves)
+        for i in range(hosts_per_leaf)
+    ]
+    switch_links = [
+        SwitchLink(
+            switch_a=l,
+            port_a=hosts_per_leaf + s,
+            switch_b=n_leaves + s,
+            port_b=l,
+        )
+        for l in range(n_leaves)
+        for s in range(n_spines)
+    ]
+
+    lfts = []
+    for l in range(n_leaves):
+        lft = []
+        for d in range(n_hosts):
+            if d // hosts_per_leaf == l:
+                lft.append(d % hosts_per_leaf)  # local delivery
+            else:
+                lft.append(hosts_per_leaf + (d % n_spines))  # d-mod-k up
+        lfts.append(lft)
+    for _s in range(n_spines):
+        # Spine port l faces leaf l; deliver toward the destination leaf.
+        lfts.append([d // hosts_per_leaf for d in range(n_hosts)])
+
+    topo = Topology(
+        n_hosts=n_hosts,
+        switches=switches,
+        host_links=host_links,
+        switch_links=switch_links,
+        lfts=lfts,
+        name=name,
+        meta={
+            "n_leaves": n_leaves,
+            "n_spines": n_spines,
+            "hosts_per_leaf": hosts_per_leaf,
+        },
+    )
+    topo.validate()
+    return topo
+
+
+def three_stage_fat_tree(radix: int, *, name: str | None = None) -> Topology:
+    """The paper's topology family at an arbitrary even crossbar radix.
+
+    ``radix`` leaves x ``radix/2`` hosts each, ``radix/2`` spines; all
+    crossbars have exactly ``radix`` ports. ``radix=36`` reproduces the
+    Sun DCS 648 (648 hosts, 54 switches).
+    """
+    if radix < 2 or radix % 2:
+        raise ValueError("radix must be a positive even number")
+    return folded_clos(
+        n_leaves=radix,
+        n_spines=radix // 2,
+        hosts_per_leaf=radix // 2,
+        name=name or f"fat-tree-radix{radix}",
+    )
+
+
+def sun_dcs_648() -> Topology:
+    """The exact paper topology: 648 hosts, 54 x 36-port crossbars."""
+    return three_stage_fat_tree(36, name="sun-dcs-648")

@@ -1,0 +1,117 @@
+"""Declarative topology description, independent of simulation objects.
+
+A :class:`Topology` is a pure-data blueprint: hosts are integers
+``0..n_hosts-1``, switches are :class:`SwitchSpec` entries, and links
+say which ports face which neighbours. The network builder
+(:class:`repro.network.network.Network`) instantiates live components
+from it; the experiment layer treats it as an immutable value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """One crossbar: its id and port count."""
+
+    switch_id: int
+    n_ports: int
+
+
+@dataclass(frozen=True)
+class HostLink:
+    """Host ``host_id`` attaches to ``switch_id`` at ``switch_port``."""
+
+    host_id: int
+    switch_id: int
+    switch_port: int
+
+
+@dataclass(frozen=True)
+class SwitchLink:
+    """Bidirectional switch-to-switch cable between two named ports."""
+
+    switch_a: int
+    port_a: int
+    switch_b: int
+    port_b: int
+
+
+@dataclass
+class Topology:
+    """A complete network blueprint.
+
+    Attributes
+    ----------
+    n_hosts:
+        Number of end nodes.
+    switches:
+        Switch inventory.
+    host_links / switch_links:
+        The cabling.
+    lfts:
+        ``lfts[switch_id][dst_host] -> output port`` (-1 = unreachable).
+    name:
+        Human-readable label used in experiment reports.
+    """
+
+    n_hosts: int
+    switches: List[SwitchSpec]
+    host_links: List[HostLink]
+    switch_links: List[SwitchLink]
+    lfts: List[Sequence[int]]
+    name: str = "topology"
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n_switches(self) -> int:
+        return len(self.switches)
+
+    def host_attachment(self, host_id: int) -> HostLink:
+        """The (switch, port) a host hangs off. O(1) via a lazy index."""
+        index = self.meta.get("_host_index")
+        if index is None:
+            index = {hl.host_id: hl for hl in self.host_links}
+            self.meta["_host_index"] = index
+        return index[host_id]
+
+    def validate(self) -> None:
+        """Sanity-check structural invariants; raises ValueError on issues."""
+        if self.n_hosts <= 0:
+            raise ValueError("topology must have at least one host")
+        if len(self.lfts) != len(self.switches):
+            raise ValueError("one LFT required per switch")
+        seen_hosts = set()
+        used_ports = set()
+        for hl in self.host_links:
+            if hl.host_id in seen_hosts:
+                raise ValueError(f"host {hl.host_id} attached twice")
+            seen_hosts.add(hl.host_id)
+            key = (hl.switch_id, hl.switch_port)
+            if key in used_ports:
+                raise ValueError(f"switch port used twice: {key}")
+            used_ports.add(key)
+        if seen_hosts != set(range(self.n_hosts)):
+            raise ValueError("host ids must be exactly 0..n_hosts-1")
+        for sl in self.switch_links:
+            for key in ((sl.switch_a, sl.port_a), (sl.switch_b, sl.port_b)):
+                if key in used_ports:
+                    raise ValueError(f"switch port used twice: {key}")
+                used_ports.add(key)
+        n_ports = {s.switch_id: s.n_ports for s in self.switches}
+        for sw_id, port in used_ports:
+            if sw_id not in n_ports:
+                raise ValueError(f"unknown switch {sw_id}")
+            if not (0 <= port < n_ports[sw_id]):
+                raise ValueError(f"port {port} out of range on switch {sw_id}")
+        for sw, lft in zip(self.switches, self.lfts):
+            if len(lft) != self.n_hosts:
+                raise ValueError(f"LFT of switch {sw.switch_id} has wrong length")
+            for dst, port in enumerate(lft):
+                if port != -1 and not (0 <= port < sw.n_ports):
+                    raise ValueError(
+                        f"LFT of switch {sw.switch_id} routes {dst} to bad port {port}"
+                    )

@@ -1,0 +1,121 @@
+"""Torus/mesh topologies with dimension-order routing.
+
+The paper's conclusion leaves CC behaviour on tori and meshes as an
+open question ("Regarding Tori or Meshes, the picture is more unclear,
+thus this question should form the basis for further research"). This
+module provides the substrate to explore it: k-ary n-dimensional tori
+(or meshes, without the wraparound) with one host per switch and
+deterministic dimension-order routing expressed as LFTs.
+
+Port layout per switch: ``0`` is the host port; then two ports per
+dimension (``1 + 2d`` toward +d, ``2 + 2d`` toward −d).
+
+Note: dimension-order routing on a torus is deadlock-free only with the
+usual dateline/VL trick; this model gives each data VL its own buffers
+and credits, so runs that use a single data VL on a *ring* dimension
+can deadlock under saturation, exactly as real hardware would without
+dateline VLs. Meshes (``wrap=False``) are deadlock-free under DOR. The
+provided experiments use meshes or light torus load; pushing further is
+precisely the open research question the paper points at.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.topology.spec import HostLink, SwitchLink, SwitchSpec, Topology
+
+
+def _coords(index: int, dims: Sequence[int]) -> Tuple[int, ...]:
+    out = []
+    for k in reversed(dims):
+        out.append(index % k)
+        index //= k
+    return tuple(reversed(out))
+
+
+def _index(coords: Sequence[int], dims: Sequence[int]) -> int:
+    idx = 0
+    for c, k in zip(coords, dims):
+        idx = idx * k + c
+    return idx
+
+
+def torus(dims: Sequence[int], *, wrap: bool = True, name: str | None = None) -> Topology:
+    """Build a k-ary n-dimensional torus (``wrap=True``) or mesh.
+
+    One host per switch; dimension-order routing (lowest dimension
+    first), taking the shorter way around on wrapped dimensions (ties
+    toward +).
+    """
+    dims = list(dims)
+    if not dims or any(k < 2 for k in dims):
+        raise ValueError("every torus dimension must be >= 2")
+    n_dims = len(dims)
+    n_hosts = 1
+    for k in dims:
+        n_hosts *= k
+    n_ports = 1 + 2 * n_dims
+
+    switches = [SwitchSpec(i, n_ports) for i in range(n_hosts)]
+    host_links = [HostLink(i, i, 0) for i in range(n_hosts)]
+
+    switch_links: List[SwitchLink] = []
+    for idx in range(n_hosts):
+        c = _coords(idx, dims)
+        for d in range(n_dims):
+            if c[d] + 1 < dims[d]:
+                nxt = list(c)
+                nxt[d] += 1
+                switch_links.append(
+                    SwitchLink(idx, 1 + 2 * d, _index(nxt, dims), 2 + 2 * d)
+                )
+            elif wrap and dims[d] > 2:
+                nxt = list(c)
+                nxt[d] = 0
+                switch_links.append(
+                    SwitchLink(idx, 1 + 2 * d, _index(nxt, dims), 2 + 2 * d)
+                )
+
+    lfts = []
+    for idx in range(n_hosts):
+        here = _coords(idx, dims)
+        lft = []
+        for dst in range(n_hosts):
+            if dst == idx:
+                lft.append(0)
+                continue
+            there = _coords(dst, dims)
+            port = -1
+            for d in range(n_dims):
+                if here[d] == there[d]:
+                    continue
+                k = dims[d]
+                fwd = (there[d] - here[d]) % k
+                bwd = (here[d] - there[d]) % k
+                if wrap and k > 2:
+                    go_plus = fwd <= bwd
+                else:
+                    go_plus = there[d] > here[d]
+                port = (1 + 2 * d) if go_plus else (2 + 2 * d)
+                break
+            lft.append(port)
+        lfts.append(lft)
+
+    topo = Topology(
+        n_hosts=n_hosts,
+        switches=switches,
+        host_links=host_links,
+        switch_links=switch_links,
+        lfts=lfts,
+        name=name or (f"torus-{'x'.join(map(str, dims))}" if wrap
+                      else f"mesh-{'x'.join(map(str, dims))}"),
+        meta={"dims": dims, "wrap": wrap},
+    )
+    topo.validate()
+    return topo
+
+
+def mesh(dims: Sequence[int], *, name: str | None = None) -> Topology:
+    """A mesh: a torus without the wraparound links (deadlock-free DOR)."""
+    return torus(dims, wrap=False, name=name)

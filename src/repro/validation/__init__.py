@@ -1,0 +1,18 @@
+"""Model calibration checks.
+
+The paper's simulator was "carefully tuned against Mellanox MTS3600
+InfiniBand switches" (their OMNeT++ 2011 companion paper). We have no
+hardware, so this package provides the equivalent discipline for the
+reproduction: a battery of first-principles checks that pin the model's
+primitive behaviours to analytically known values — link serialization,
+the 13.5/13.6 Gbit/s endpoint caps, credit-loop throughput bounds,
+arbitration shares, and the CC feedback-loop latency. Run them with::
+
+    python -m repro.validation
+
+or programmatically via :func:`run_calibration`.
+"""
+
+from repro.validation.checks import CalibrationCheck, CalibrationReport, run_calibration
+
+__all__ = ["CalibrationCheck", "CalibrationReport", "run_calibration"]

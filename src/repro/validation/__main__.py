@@ -1,0 +1,9 @@
+"""``python -m repro.validation`` — run the calibration battery."""
+
+import sys
+
+from repro.validation import run_calibration
+
+report = run_calibration()
+print(report.format())
+sys.exit(0 if report.all_passed else 1)

@@ -1,0 +1,250 @@
+"""The calibration battery (see package docstring)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.core import CCManager, CCParams
+from repro.engine import RngRegistry, Simulator
+from repro.metrics import Collector, jain_fairness
+from repro.network import HcaConfig, Network, NetworkConfig
+from repro.topology import three_stage_fat_tree
+from repro.traffic import BNodeSource, FixedRateSource, HotspotSchedule
+
+MS = 1e6
+
+
+@dataclass
+class CalibrationCheck:
+    """One measured-vs-expected comparison."""
+
+    name: str
+    expected: float
+    measured: float
+    tolerance: float  # relative
+    detail: str = ""
+
+    @property
+    def passed(self) -> bool:
+        if self.expected == 0.0:
+            return abs(self.measured) <= self.tolerance
+        return abs(self.measured - self.expected) <= self.tolerance * abs(self.expected)
+
+    def format(self) -> str:
+        """One-line pass/fail rendering of the comparison."""
+        mark = "ok " if self.passed else "FAIL"
+        return (
+            f"[{mark}] {self.name:42s} expected {self.expected:10.3f} "
+            f"measured {self.measured:10.3f} (tol {self.tolerance:.0%})"
+        )
+
+
+@dataclass
+class CalibrationReport:
+    checks: List[CalibrationCheck]
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def format(self) -> str:
+        """Multi-line report with one line per check."""
+        lines = ["Model calibration report", "=" * 24]
+        lines += [c.format() for c in self.checks]
+        lines.append("")
+        n_ok = sum(1 for c in self.checks if c.passed)
+        lines.append(f"{n_ok}/{len(self.checks)} checks passed")
+        return "\n".join(lines)
+
+
+def _fresh(radix=4, **net_kw):
+    topo = three_stage_fat_tree(radix)
+    sim = Simulator()
+    col = Collector(topo.n_hosts, warmup_ns=0.5 * MS)
+    net = Network(sim, topo, NetworkConfig(**net_kw), collector=col)
+    return topo, sim, col, net
+
+
+def check_injection_cap() -> CalibrationCheck:
+    """A saturating source delivers exactly the 13.5 Gbit/s PCIe cap."""
+    topo, sim, col, net = _fresh()
+    gen = FixedRateSource(0, topo.n_hosts, 5, 13.5, RngRegistry(1).stream("g"))
+    gen.bind(net.hcas[0])
+    net.hcas[0].attach_generator(gen)
+    net.run(until=3 * MS)
+    return CalibrationCheck(
+        "single-flow delivery at injection cap",
+        13.5,
+        col.rx_rate_gbps(5, 3 * MS),
+        0.02,
+        "paper section IV: injection limited by PCIe v1.1",
+    )
+
+
+def check_sink_cap() -> CalibrationCheck:
+    """Fan-in beyond the sink rate is clipped at 13.6 Gbit/s."""
+    topo, sim, col, net = _fresh()
+    rng = RngRegistry(1)
+    hs = HotspotSchedule([0])
+    for node in range(1, topo.n_hosts):
+        gen = BNodeSource(node, topo.n_hosts, 1.0, rng.stream("g", node),
+                          hotspot=lambda: hs.target(0))
+        gen.bind(net.hcas[node])
+        net.hcas[node].attach_generator(gen)
+    net.run(until=3 * MS)
+    return CalibrationCheck(
+        "hotspot receive at sink cap",
+        13.6,
+        col.rx_rate_gbps(0, 3 * MS),
+        0.04,
+        "paper: hardware receive ~0.1 Gbit/s above the injection rate",
+    )
+
+
+def check_link_serialization() -> CalibrationCheck:
+    """Wire time for one packet at 20 Gbit/s (4x DDR)."""
+    from repro.network.ports import LinkConfig
+
+    link = LinkConfig(20.0)
+    expected = (2048 + 30) * 8 / 20.0  # ns
+    measured = (2048 + 30) * link.byte_time_ns
+    return CalibrationCheck(
+        "MTU serialization time at 20 Gbit/s (ns)", expected, measured, 0.001
+    )
+
+
+def check_credit_loop_bound() -> CalibrationCheck:
+    """Throughput of a credit loop is min(link, window/RTT).
+
+    With a small downstream buffer (window) and a long cable, a single
+    link must self-throttle to window/RTT — the classic credit-based
+    flow-control bound.
+    """
+    window = 4156.0  # two packets of buffer downstream
+    prop = 5_000.0  # a long cable: 5 us each way
+    topo, sim, col, net = _fresh(
+        link=__import__("repro.network.ports", fromlist=["LinkConfig"]).LinkConfig(
+            20.0, prop
+        ),
+        hca=HcaConfig(ibuf_capacity=int(window)),
+    )
+    gen = FixedRateSource(0, topo.n_hosts, 1, 13.5, RngRegistry(1).stream("g"))
+    gen.bind(net.hcas[0])
+    net.hcas[0].attach_generator(gen)
+    net.run(until=8 * MS)
+    # Host 0 and 1 share a leaf: one switch hop. The loop that matters
+    # is the last hop into the HCA: serialization + prop + service +
+    # credit return. Per window of 2 packets:
+    ser = 2078 * 0.4
+    service = 2078 * 8 / 13.6
+    rtt = ser + prop + service + prop
+    expected = min(13.5, (window * 8) / (ser + prop + 2 * service + prop))
+    # Use a generous tolerance: the exact pipeline overlap is subtle;
+    # what is being pinned is the order of magnitude of the stall.
+    return CalibrationCheck(
+        "credit-loop throughput bound (Gbit/s)",
+        expected,
+        col.rx_rate_gbps(1, 8 * MS),
+        0.25,
+        "window-limited link must run at ~window/RTT",
+    )
+
+
+def check_arbitration_shares() -> CalibrationCheck:
+    """Equal-hop contributors share a saturated output equally."""
+    topo, sim, col, net = _fresh(radix=4)
+    col2 = Collector(topo.n_hosts, warmup_ns=1 * MS, track_pairs=True)
+    net.collector = col2
+    for h in net.hcas:
+        h.metrics = col2
+    rng = RngRegistry(1)
+    hs = HotspotSchedule([0])
+    # Contributors 2..7 are all remote to host 0's leaf: symmetric.
+    for node in range(2, 8):
+        gen = BNodeSource(node, topo.n_hosts, 1.0, rng.stream("g", node),
+                          hotspot=lambda: hs.target(0))
+        gen.bind(net.hcas[node])
+        net.hcas[node].attach_generator(gen)
+    net.run(until=5 * MS)
+    per_flow = [col2.rx_by_src.get((s, 0), 0) for s in range(2, 8)]
+    return CalibrationCheck(
+        "remote-contributor fairness (Jain index)",
+        1.0,
+        jain_fairness(per_flow),
+        0.05,
+        "round-robin vlarb must share equally among symmetric inputs",
+    )
+
+
+def check_cc_loop_latency() -> CalibrationCheck:
+    """Time from congestion onset to the first source throttle.
+
+    Bounded by: queue build-up to threshold + FECN transit to the
+    destination + CNP return. At 20 Gbit/s on an idle reverse path this
+    is tens of microseconds — if it measures in milliseconds the
+    feedback path is broken (e.g. CNPs blocked behind data).
+    """
+    topo, sim, col, net = _fresh(radix=4)
+    mgr = CCManager(CCParams.paper_table1().with_(cct_slope=0.5)).install(net)
+    rng = RngRegistry(1)
+    hs = HotspotSchedule([0])
+    for node in range(1, topo.n_hosts):
+        gen = BNodeSource(node, topo.n_hosts, 1.0, rng.stream("g", node),
+                          hotspot=lambda: hs.target(0))
+        gen.bind(net.hcas[node])
+        net.hcas[node].attach_generator(gen)
+    first_becn = {}
+
+    def probe():
+        if mgr.total_becns() > 0 and "t" not in first_becn:
+            first_becn["t"] = sim.now
+        else:
+            sim.schedule(1_000.0, probe)
+
+    sim.schedule(1_000.0, probe)
+    net.run(until=2 * MS)
+    measured_us = first_becn.get("t", float("inf")) / 1_000.0
+    return CalibrationCheck(
+        "CC loop first-throttle latency (us)",
+        30.0,
+        measured_us,
+        1.0,  # within [0, 60] us — order-of-magnitude pin
+        "onset -> FECN -> CNP -> CCTI bump must be tens of microseconds",
+    )
+
+
+def check_cc_idle_overhead() -> CalibrationCheck:
+    """CC must not perturb an uncongested network at all."""
+    def run(cc: bool) -> float:
+        topo, sim, col, net = _fresh(radix=4)
+        if cc:
+            CCManager(CCParams.paper_table1().with_(cct_slope=0.5)).install(net)
+        gen = FixedRateSource(0, topo.n_hosts, 5, 8.0, RngRegistry(1).stream("g"))
+        gen.bind(net.hcas[0])
+        net.hcas[0].attach_generator(gen)
+        net.run(until=3 * MS)
+        return col.rx_rate_gbps(5, 3 * MS)
+
+    return CalibrationCheck(
+        "CC overhead on uncongested traffic (Gbit/s delta)",
+        0.0,
+        abs(run(True) - run(False)),
+        0.01,  # absolute, since expected == 0
+    )
+
+
+ALL_CHECKS: List[Callable[[], CalibrationCheck]] = [
+    check_link_serialization,
+    check_injection_cap,
+    check_sink_cap,
+    check_credit_loop_bound,
+    check_arbitration_shares,
+    check_cc_loop_latency,
+    check_cc_idle_overhead,
+]
+
+
+def run_calibration() -> CalibrationReport:
+    """Run the full battery and return the report."""
+    return CalibrationReport([check() for check in ALL_CHECKS])

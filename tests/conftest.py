@@ -1,0 +1,90 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CCManager, CCParams
+from repro.engine import RngRegistry, Simulator
+from repro.experiments.config import ScaleProfile
+from repro.metrics import Collector
+from repro.network import HcaConfig, Network, NetworkConfig
+from repro.topology import folded_clos, three_stage_fat_tree
+from repro.traffic import BNodeSource, FixedRateSource, HotspotSchedule
+
+
+# A micro scale profile so experiment-layer tests run in milliseconds.
+MICRO_SCALE = ScaleProfile(
+    name="micro",
+    radix=4,
+    n_hotspots=2,
+    sim_time_ns=6e6,
+    warmup_ns=3e6,
+    cct_slope=0.5,
+    moving_sim_time_ns=4e6,
+    moving_lifetimes_ns=(0.5e6,),
+    marking_rate=3,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(12345)
+
+
+def build_network(
+    sim,
+    *,
+    radix: int = 4,
+    collector: Collector | None = None,
+    cc: bool = False,
+    cc_params: CCParams | None = None,
+    net_cfg: NetworkConfig | None = None,
+):
+    """A small live fat-tree network, optionally with CC installed.
+
+    Returns ``(network, collector, manager_or_None)``.
+    """
+    topo = three_stage_fat_tree(radix)
+    if collector is None:
+        collector = Collector(topo.n_hosts, warmup_ns=0.0)
+    net = Network(sim, topo, net_cfg or NetworkConfig(), collector=collector)
+    manager = None
+    if cc:
+        manager = CCManager(
+            cc_params or CCParams.paper_table1().with_(cct_slope=0.5)
+        ).install(net)
+    return net, collector, manager
+
+
+def attach_fixed_flow(net, rng, src: int, dst: int, rate_gbps: float = 13.5):
+    """Attach a single-destination constant-rate source to HCA ``src``."""
+    gen = FixedRateSource(
+        src, net.topology.n_hosts, dst, rate_gbps, rng.stream("gen", src)
+    )
+    gen.bind(net.hcas[src])
+    net.hcas[src].attach_generator(gen)
+    return gen
+
+
+def attach_hotspot_contributors(net, rng, hotspot: int, contributors):
+    """All ``contributors`` saturate ``hotspot`` (C-node behaviour)."""
+    schedule = HotspotSchedule([hotspot])
+    gens = []
+    for node in contributors:
+        gen = BNodeSource(
+            node,
+            net.topology.n_hosts,
+            1.0,
+            rng.stream("gen", node),
+            hotspot=lambda s=schedule: s.target(0),
+        )
+        gen.bind(net.hcas[node])
+        net.hcas[node].attach_generator(gen)
+        gens.append(gen)
+    return schedule, gens

@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_artifacts_accepted(self):
+        parser = build_parser()
+        for art in ("table2", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10"):
+            assert parser.parse_args([art]).artifact == art
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig11"])
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["table2", "--scale", "paper"])
+        assert args.scale == "paper"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table2", "--scale", "huge"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig10"])
+        assert args.scale == "default"
+        assert args.p == 60
+        assert args.seed == 7
+
+
+class TestMainSmoke:
+    """End-to-end CLI runs at quick scale with a coarse sweep.
+
+    These are the slowest tests in the suite (a few seconds each); they
+    guarantee every artifact path actually executes.
+    """
+
+    def test_fig8_single_point_sweep(self, capsys):
+        # p-step 100 -> only p=0 and p=100: cheapest windy run.
+        assert main(["fig8", "--scale", "quick", "--p-step", "100", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Windy forest, 100% B nodes" in out
+        assert "peak improvement" in out

@@ -1,0 +1,62 @@
+"""Tests for CC statistics snapshots."""
+
+from repro.core import CcSnapshot, snapshot_cc
+from repro.core.stats import HcaCcStats
+from repro.engine import RngRegistry, Simulator
+
+from tests.conftest import attach_hotspot_contributors, build_network
+
+MS = 1e6
+
+
+def congested_snapshot():
+    sim = Simulator()
+    net, _, mgr = build_network(sim, radix=4, cc=True)
+    attach_hotspot_contributors(net, RngRegistry(1), hotspot=0, contributors=range(1, 8))
+    net.run(until=3 * MS)
+    return net, mgr, snapshot_cc(net, mgr)
+
+
+class TestSnapshot:
+    def test_totals_match_manager(self):
+        net, mgr, snap = congested_snapshot()
+        assert snap.total_marks == mgr.total_marks() > 0
+        assert snap.total_becns == mgr.total_becns() > 0
+        assert snap.throttled_flows == mgr.throttled_flows()
+        assert snap.time_ns == net.sim.now
+
+    def test_per_switch_marks_sum(self):
+        _, mgr, snap = congested_snapshot()
+        assert sum(snap.per_switch_marks.values()) == snap.total_marks
+
+    def test_hca_entries_complete(self):
+        net, _, snap = congested_snapshot()
+        assert len(snap.hcas) == len(net.hcas)
+        assert sum(h.becns_applied for h in snap.hcas) == snap.total_becns
+
+    def test_hottest_hcas_sorted(self):
+        _, _, snap = congested_snapshot()
+        hot = snap.hottest_hcas(3)
+        cctis = [h.deepest_ccti for h in hot]
+        assert cctis == sorted(cctis, reverse=True)
+        assert hot[0].deepest_ccti > 0
+
+    def test_marking_ratio_with_marking_rate_zero_equivalent(self):
+        # Bench-profile Marking_Rate 3 -> roughly a quarter marked.
+        _, _, snap = congested_snapshot()
+        assert 0.1 < snap.marking_ratio <= 1.0
+
+    def test_format_prints_key_lines(self):
+        _, _, snap = congested_snapshot()
+        text = snap.format()
+        assert "FECN marks" in text
+        assert "throttled flows" in text
+        assert "deepest throttles" in text
+
+    def test_empty_snapshot_ratio(self):
+        snap = CcSnapshot(
+            time_ns=0.0, total_marks=0, total_eligible=0, total_becns=0,
+            total_cnps=0, throttled_flows=0,
+        )
+        assert snap.marking_ratio == 0.0
+        assert snap.hottest_hcas() == []

@@ -1,0 +1,170 @@
+"""Tests for switch-side congestion detection and FECN marking."""
+
+import pytest
+
+from repro.core.parameters import CCParams
+from repro.core.switch_cc import SwitchCC
+from repro.engine import Simulator
+from repro.network.packet import Packet
+from repro.network.switch import Switch
+
+
+def make_switch_cc(sim=None, *, params=None, ibuf_capacity=16384, n_ports=4):
+    sim = sim or Simulator()
+    sw = Switch(sim, 0, n_ports, ibuf_capacity=ibuf_capacity, obuf_capacity=0)
+    sw.set_lft(list(range(n_ports)))
+    scc = SwitchCC(sw, params or CCParams.paper_table1())
+    scc.attach()
+    return sw, scc
+
+
+def fill_voq(sw, out_port, nbytes, *, in_port=0, vl=0, src=9):
+    """Queue data for an output port (obuf is zero-sized, so it stays)."""
+    queued = 0
+    while queued < nbytes:
+        sw.input_ports[in_port].deliver(
+            Packet(src, out_port, 2048, header=0, vl=vl)
+        )
+        queued += 2048
+
+
+class TestCongestionState:
+    def test_below_threshold_not_congested(self):
+        sw, scc = make_switch_cc()
+        # Threshold at weight 15 is capacity/16 = 1024 B.
+        assert not scc.in_congestion_state(1, 0, credits_after=5000.0, wire_size=2048)
+
+    def test_above_threshold_with_credits_is_root(self):
+        sw, scc = make_switch_cc()
+        fill_voq(sw, 1, 4096)
+        assert scc.in_congestion_state(1, 0, credits_after=5000.0, wire_size=2048)
+
+    def test_above_threshold_without_credits_is_victim(self):
+        sw, scc = make_switch_cc()
+        fill_voq(sw, 1, 4096)
+        assert not scc.in_congestion_state(1, 0, credits_after=0.0, wire_size=2048)
+        # Less than one packet of slack is still a victim (sub-packet
+        # remainders must not register as "credits to output data").
+        assert not scc.in_congestion_state(1, 0, credits_after=2047.0, wire_size=2048)
+
+    def test_victim_mask_overrides_credit_rule(self):
+        sw, scc = make_switch_cc()
+        fill_voq(sw, 1, 4096)
+        scc.set_victim_mask(1)
+        assert scc.in_congestion_state(1, 0, credits_after=0.0, wire_size=2048)
+
+    def test_threshold_weight_zero_never_marks(self):
+        sw, scc = make_switch_cc(params=CCParams.paper_table1().with_(threshold=0))
+        fill_voq(sw, 1, 16000)
+        pkt = Packet(9, 1, 2048, header=0)
+        scc.on_transmit(1, pkt, credits_after=5000.0)
+        assert not pkt.fecn and scc.marks == 0
+
+
+class TestMarking:
+    def _congest_and_transmit(self, scc, sw, pkt, credits=5000.0):
+        fill_voq(sw, 1, 4096)
+        scc.on_transmit(1, pkt, credits_after=credits)
+        return pkt
+
+    def test_marks_when_congested(self):
+        sw, scc = make_switch_cc()
+        pkt = self._congest_and_transmit(scc, sw, Packet(9, 1, 2048, header=0))
+        assert pkt.fecn and scc.marks == 1
+
+    def test_no_mark_when_victim(self):
+        sw, scc = make_switch_cc()
+        pkt = self._congest_and_transmit(
+            scc, sw, Packet(9, 1, 2048, header=0), credits=0.0
+        )
+        assert not pkt.fecn
+
+    def test_packet_size_floor(self):
+        sw, scc = make_switch_cc(
+            params=CCParams.paper_table1().with_(packet_size=1024)
+        )
+        small = self._congest_and_transmit(scc, sw, Packet(9, 1, 512, header=0))
+        assert not small.fecn
+        big = Packet(9, 1, 2048, header=0)
+        scc.on_transmit(1, big, credits_after=5000.0)
+        assert big.fecn
+
+    def test_marking_rate_skips(self):
+        sw, scc = make_switch_cc(
+            params=CCParams.paper_table1().with_(marking_rate=2)
+        )
+        fill_voq(sw, 1, 8192)
+        marked = []
+        for _ in range(9):
+            pkt = Packet(9, 1, 2048, header=0)
+            scc.on_transmit(1, pkt, credits_after=5000.0)
+            marked.append(pkt.fecn)
+        # Mark one, then skip marking_rate=2 eligible packets.
+        assert marked == [True, False, False, True, False, False, True, False, False]
+
+    def test_marking_rate_zero_marks_all(self):
+        sw, scc = make_switch_cc()
+        fill_voq(sw, 1, 8192)
+        for _ in range(5):
+            pkt = Packet(9, 1, 2048, header=0)
+            scc.on_transmit(1, pkt, credits_after=5000.0)
+            assert pkt.fecn
+
+    def test_eligible_counter(self):
+        sw, scc = make_switch_cc(
+            params=CCParams.paper_table1().with_(marking_rate=1)
+        )
+        fill_voq(sw, 1, 8192)
+        for _ in range(4):
+            scc.on_transmit(1, Packet(9, 1, 2048, header=0), credits_after=5000.0)
+        assert scc.eligible == 4
+        assert scc.marks == 2
+
+    def test_per_port_marking_state_independent(self):
+        sw, scc = make_switch_cc(
+            params=CCParams.paper_table1().with_(marking_rate=1)
+        )
+        fill_voq(sw, 1, 8192)
+        fill_voq(sw, 2, 8192)
+        a = Packet(9, 1, 2048, header=0)
+        b = Packet(9, 2, 2048, header=0)
+        scc.on_transmit(1, a, credits_after=5000.0)
+        scc.on_transmit(2, b, credits_after=5000.0)
+        assert a.fecn and b.fecn  # both ports start at "mark first"
+
+
+class TestIntegrationWithOutputPort:
+    def test_output_port_invokes_marking(self):
+        sim = Simulator()
+        sw = Switch(sim, 0, 2, ibuf_capacity=16384, obuf_capacity=4096)
+        sw.set_lft([0, 1])
+        scc = SwitchCC(sw, CCParams.paper_table1())
+        scc.attach()
+        scc.set_victim_mask(1)
+        sink = type("S", (), {"deliver": lambda self, p: None})()
+        sw.output_ports[1].peer = sink
+        sw.output_ports[1].credits = [10.0**9] * sw.n_vls
+        # Enough packets that the VoQ backlog exceeds the threshold.
+        for _ in range(6):
+            sw.input_ports[0].deliver(Packet(9, 1, 2048, header=0))
+        sim.run()
+        assert scc.marks > 0
+
+    def test_control_packets_never_marked(self):
+        sw, scc = make_switch_cc()
+        fill_voq(sw, 1, 8192)
+        cnp = Packet.cnp(9, 1)
+        # The output port skips the CC hook for control packets; calling
+        # on_transmit directly must still not mark (payload < any size)
+        # -- but the real guarantee is the is_control check in the port.
+        from repro.network.ports import LinkConfig, OutputPort
+
+        sim = Simulator()
+        port = OutputPort(sim, LinkConfig(), n_vls=1)
+        port.credits = [10.0**9]
+        port.peer = type("S", (), {"deliver": lambda self, p: None})()
+        port.cc = scc
+        port.port_index = 1
+        port.enqueue(cnp)
+        sim.run()
+        assert not cnp.fecn

@@ -1,0 +1,57 @@
+"""Unit tests for deterministic RNG stream management."""
+
+import numpy as np
+import pytest
+
+from repro.engine import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_key_returns_same_stream(self):
+        reg = RngRegistry(7)
+        assert reg.stream("gen", 3) is reg.stream("gen", 3)
+
+    def test_different_keys_differ(self):
+        reg = RngRegistry(7)
+        a = reg.stream("gen", 0).random(100)
+        b = reg.stream("gen", 1).random(100)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_across_registries(self):
+        a = RngRegistry(42).stream("x", 1).random(50)
+        b = RngRegistry(42).stream("x", 1).random(50)
+        assert np.array_equal(a, b)
+
+    def test_master_seed_changes_streams(self):
+        a = RngRegistry(1).stream("x").random(50)
+        b = RngRegistry(2).stream("x").random(50)
+        assert not np.array_equal(a, b)
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        reg1 = RngRegistry(5)
+        _ = reg1.stream("a").random(10)
+        after = reg1.stream("a").random(10)
+
+        reg2 = RngRegistry(5)
+        _ = reg2.stream("a").random(10)
+        _ = reg2.stream("b")  # new consumer interposed
+        after2 = reg2.stream("a").random(10)
+        assert np.array_equal(after, after2)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            RngRegistry(0).stream()
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngRegistry("seed")  # type: ignore[arg-type]
+
+    def test_len_counts_streams(self):
+        reg = RngRegistry(0)
+        reg.stream("a")
+        reg.stream("b", 1)
+        reg.stream("a")  # cached, not new
+        assert len(reg) == 2
+
+    def test_master_seed_property(self):
+        assert RngRegistry(99).master_seed == 99

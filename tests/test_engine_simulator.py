@@ -1,0 +1,187 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.engine import Simulator, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30.0, order.append, 3)
+        sim.schedule(10.0, order.append, 1)
+        sim.schedule(20.0, order.append, 2)
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_simultaneous_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(10):
+            sim.schedule(5.0, order.append, i)
+        sim.run()
+        assert order == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(12.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.5]
+        assert sim.now == 12.5
+
+    def test_schedule_relative_is_from_now(self):
+        sim = Simulator()
+        times = []
+
+        def chain():
+            times.append(sim.now)
+            if len(times) < 3:
+                sim.schedule(2.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        out = []
+        sim.schedule_at(7.0, out.append, "x")
+        sim.run()
+        assert out == ["x"] and sim.now == 7.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_fn_without_arg_called_without_arg(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, lambda: hits.append("no-arg"))
+        sim.run()
+        assert hits == ["no-arg"]
+
+
+class TestRunUntil:
+    def test_until_excludes_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "early")
+        sim.schedule(15.0, fired.append, "late")
+        sim.run(until=10.0)
+        assert fired == ["early"]
+        assert sim.now == 10.0
+
+    def test_until_boundary_event_included(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, fired.append, "at")
+        sim.run(until=10.0)
+        assert fired == ["at"]
+
+    def test_clock_set_to_until_even_with_empty_heap(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, 1)
+        sim.schedule(15.0, fired.append, 2)
+        sim.run(until=10.0)
+        sim.run()
+        assert fired == [1, 2]
+
+
+class TestCancel:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        eid = sim.schedule(5.0, fired.append, "x")
+        sim.cancel(eid)
+        sim.run()
+        assert fired == []
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        fired = []
+        ids = [sim.schedule(float(i), fired.append, i) for i in range(5)]
+        sim.cancel(ids[2])
+        sim.run()
+        assert fired == [0, 1, 3, 4]
+
+    def test_double_cancel_is_noop(self):
+        sim = Simulator()
+        eid = sim.schedule(1.0, lambda: None)
+        sim.cancel(eid)
+        sim.cancel(eid)
+        sim.run()  # must not raise
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        eid = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(eid)
+        assert sim.peek() == 2.0
+
+
+class TestSafetyAndIntrospection:
+    def test_event_budget_enforced(self):
+        sim = Simulator(max_events=10)
+
+        def storm():
+            sim.schedule(1.0, storm)
+
+        sim.schedule(1.0, storm)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_executed == 7
+
+    def test_pending_count(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+
+    def test_step_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        assert sim.step() is True
+        assert fired == ["a"]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def nested():
+            try:
+                sim.run()
+            except SimulationError as e:
+                errors.append(e)
+
+        sim.schedule(1.0, nested)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_peek_empty(self):
+        assert Simulator().peek() is None

@@ -1,0 +1,164 @@
+"""End-to-end congestion-control behaviour tests.
+
+These exercise the full closed loop: threshold detection -> FECN marks
+-> CNP return on the dedicated VL -> CCTI throttling -> recovery, and
+the system-level properties the paper reports (victim recovery,
+parking-lot fairness, negligible cost for innocent traffic).
+"""
+
+import pytest
+
+from repro.core import CCManager, CCParams
+from repro.engine import RngRegistry, Simulator
+from repro.metrics import Collector, jain_fairness
+from repro.network import Network, NetworkConfig
+
+from tests.conftest import attach_fixed_flow, attach_hotspot_contributors, build_network
+
+MS = 1e6
+
+
+def cc_params(**kw):
+    base = dict(cct_slope=0.5, marking_rate=3)
+    base.update(kw)
+    return CCParams.paper_table1().with_(**base)
+
+
+class TestClosedLoop:
+    def _hotspot_run(self, cc, sim_ns=6 * MS, radix=4, params=None):
+        sim = Simulator()
+        col = Collector(radix * (radix // 2), warmup_ns=sim_ns * 0.33, track_pairs=True)
+        net, col, mgr = build_network(
+            sim, radix=radix, collector=col, cc=cc, cc_params=params or cc_params()
+        )
+        n = net.topology.n_hosts
+        attach_hotspot_contributors(net, RngRegistry(1), hotspot=0, contributors=range(1, n))
+        net.run(until=sim_ns)
+        return net, col, mgr, sim_ns
+
+    def test_marks_and_becns_flow(self):
+        net, col, mgr, _ = self._hotspot_run(cc=True)
+        assert mgr.total_marks() > 0
+        assert mgr.total_becns() > 0
+
+    def test_contributors_get_throttled(self):
+        net, _, mgr, _ = self._hotspot_run(cc=True)
+        assert mgr.throttled_flows() > 0
+
+    def test_hotspot_utilization_stays_high(self):
+        _, col, _, t = self._hotspot_run(cc=True, sim_ns=12 * MS)
+        # CC must keep the bottleneck busy: paper sees a 2.5% drop; we
+        # allow up to ~15% at this micro scale (4-node leaf, short run).
+        assert col.rx_rate_gbps(0, t) > 13.6 * 0.85
+
+    def test_no_marks_without_congestion(self):
+        sim = Simulator()
+        net, col, mgr = build_network(sim, cc=True, cc_params=cc_params())
+        attach_fixed_flow(net, RngRegistry(1), src=0, dst=7, rate_gbps=5.0)
+        net.run(until=2 * MS)
+        assert mgr.total_marks() == 0
+        assert col.rx_rate_gbps(7, 2 * MS) == pytest.approx(5.0, rel=0.02)
+
+    def test_cc_fixes_parking_lot_fairness(self):
+        net, col, _, _ = self._hotspot_run(cc=True, sim_ns=10 * MS)
+        per_flow = [col.rx_by_src.get((s, 0), 0) for s in range(1, 8)]
+        assert jain_fairness(per_flow) > 0.9  # vs ~0.49 without CC
+
+    def test_throttle_recovers_after_congestion_ends(self):
+        sim = Simulator()
+        net, col, mgr = build_network(sim, cc=True, cc_params=cc_params())
+        n = net.topology.n_hosts
+        rng = RngRegistry(1)
+        _, gens = attach_hotspot_contributors(net, rng, hotspot=0, contributors=range(1, n))
+        net.run(until=3 * MS)
+        assert mgr.throttled_flows() > 0
+        # Silence all contributors; the CCTI timer should drain state.
+        for node in range(1, n):
+            net.hcas[node].gen = None
+        # Worst case the deepest flow sits at CCTI_Limit = 127; give
+        # the timer enough expiries to unwind it completely.
+        net.run(until=sim.now + 140 * mgr.params.timer_period_ns)
+        assert mgr.throttled_flows() == 0
+
+
+class TestVictimRecovery:
+    def _victim_scenario(self, cc):
+        # Same layout as the no-CC HOL test: contributors 2..6 -> hotspot
+        # 0; victim 7 -> 8 shares the leaf-1 uplink to spine 0.
+        sim = Simulator()
+        net, col, mgr = build_network(
+            sim, radix=8, cc=cc, cc_params=cc_params()
+        )
+        rng = RngRegistry(1)
+        attach_hotspot_contributors(net, rng, hotspot=0, contributors=range(2, 7))
+        attach_fixed_flow(net, rng, src=7, dst=8, rate_gbps=13.5)
+        net.run(until=8 * MS)
+        return col.rx_rate_gbps(8, 8 * MS)
+
+    def test_cc_unblocks_the_victim(self):
+        without = self._victim_scenario(cc=False)
+        with_cc = self._victim_scenario(cc=True)
+        assert with_cc > 2 * without
+        assert with_cc > 13.5 * 0.6  # the bulk of its injection rate back
+
+
+class TestVictimMaskMatters:
+    def _run(self, victim_mask):
+        # A nearly wedged sink (0.5 Gbit/s) keeps the hotspot HCA ibuf
+        # full, so the HCA-facing root port holds ~no credits. Only the
+        # Victim Mask lets it enter the congestion state (footnote 2 of
+        # the paper); without it the root is misclassified as a victim.
+        from repro.network import HcaConfig, NetworkConfig
+
+        sim = Simulator()
+        params = cc_params(victim_mask_hca_ports=victim_mask)
+        cfg = NetworkConfig(hca=HcaConfig(sink_rate_gbps=0.5))
+        net, col, mgr = build_network(
+            sim, radix=4, cc=True, cc_params=params, net_cfg=cfg
+        )
+        n = net.topology.n_hosts
+        attach_hotspot_contributors(net, RngRegistry(1), hotspot=0, contributors=range(1, n))
+        net.run(until=5 * MS)
+        return mgr
+
+    def test_without_mask_the_root_cannot_mark(self):
+        masked = self._run(victim_mask=True)
+        unmasked = self._run(victim_mask=False)
+        assert masked.total_marks() > 5 * max(1, unmasked.total_marks())
+
+
+class TestQpVsSlMode:
+    def _two_flow_run(self, mode):
+        # Source 1 sends both a hotspot flow (to 0, congested) and an
+        # innocent flow is emulated by source 2 -> 3 sharing source 1's
+        # SL. In SL mode, throttling source 1's hotspot flow also hits
+        # its other-destination traffic; emulate with a B node that
+        # splits traffic between the hotspot and an idle node.
+        from repro.traffic import BNodeSource
+
+        sim = Simulator()
+        params = cc_params(cc_mode=mode)
+        net, col, mgr = build_network(sim, radix=4, cc=True, cc_params=params)
+        n = net.topology.n_hosts
+        rng = RngRegistry(1)
+        # Contributors 2.. saturate hotspot 0.
+        attach_hotspot_contributors(net, rng, hotspot=0, contributors=range(2, n))
+        # Node 1 splits: half to the hotspot, half uniform.
+        gen = BNodeSource(
+            1, n, 0.5, rng.stream("gen", 1), hotspot=lambda: 0
+        )
+        gen.bind(net.hcas[1])
+        net.hcas[1].attach_generator(gen)
+        net.run(until=8 * MS)
+        # Return what node 1 delivered to non-hotspot destinations.
+        total = col.tx_bytes[1]
+        hotspot_part = col.rx_by_src.get((1, 0), 0) if col.track_pairs else None
+        return col, total
+
+    def test_sl_mode_punishes_innocent_traffic(self):
+        _, qp_total = self._two_flow_run("qp")
+        _, sl_total = self._two_flow_run("sl")
+        # Under SL-level CC the whole service level of node 1 is
+        # throttled, so it moves less total traffic than under QP-level
+        # CC (the paper's argument for QP-level operation).
+        assert sl_total < qp_total * 0.9

@@ -1,0 +1,118 @@
+"""End-to-end datapath integration tests (no CC)."""
+
+import pytest
+
+from repro.engine import RngRegistry, Simulator
+from repro.metrics import Collector, jain_fairness
+from repro.network import HcaConfig, Network, NetworkConfig
+from repro.topology import three_stage_fat_tree
+
+from tests.conftest import attach_fixed_flow, attach_hotspot_contributors, build_network
+
+
+MS = 1e6  # ns
+
+
+class TestSingleFlow:
+    def test_throughput_equals_injection_rate(self):
+        sim = Simulator()
+        net, col, _ = build_network(sim)
+        rng = RngRegistry(1)
+        attach_fixed_flow(net, rng, src=0, dst=7, rate_gbps=10.0)
+        net.run(until=2 * MS)
+        assert col.rx_rate_gbps(7, 2 * MS) == pytest.approx(10.0, rel=0.02)
+
+    def test_local_pair_same_leaf(self):
+        sim = Simulator()
+        net, col, _ = build_network(sim)
+        attach_fixed_flow(net, RngRegistry(1), src=0, dst=1, rate_gbps=5.0)
+        net.run(until=2 * MS)
+        assert col.rx_rate_gbps(1, 2 * MS) == pytest.approx(5.0, rel=0.02)
+
+    def test_full_injection_rate_sustained(self):
+        sim = Simulator()
+        net, col, _ = build_network(sim)
+        attach_fixed_flow(net, RngRegistry(1), src=0, dst=5, rate_gbps=13.5)
+        net.run(until=2 * MS)
+        # 13.5 in, sink cap 13.6: delivery matches injection.
+        assert col.rx_rate_gbps(5, 2 * MS) == pytest.approx(13.5, rel=0.02)
+
+    def test_no_packet_loss(self):
+        sim = Simulator()
+        net, col, _ = build_network(sim)
+        attach_fixed_flow(net, RngRegistry(1), src=0, dst=7, rate_gbps=13.5)
+        net.run(until=2 * MS)
+        in_flight = net.total_buffered_bytes()
+        # Everything sent is either delivered or still buffered.
+        assert col.tx_bytes[0] >= col.rx_bytes[7]
+        assert (col.tx_bytes[0] - col.rx_bytes[7]) * 0.8 <= in_flight + 3 * 4156 + 8192 * 3
+
+
+class TestHotspotWithoutCc:
+    def test_sink_cap_limits_hotspot(self):
+        sim = Simulator()
+        net, col, _ = build_network(sim)
+        attach_hotspot_contributors(net, RngRegistry(1), hotspot=0, contributors=range(1, 8))
+        net.run(until=4 * MS)
+        # Offered 7 x 13.5 = 94.5; received = sink cap (within tolerance
+        # of the receive pipeline).
+        assert col.rx_rate_gbps(0, 4 * MS) == pytest.approx(13.6, rel=0.05)
+
+    def test_parking_lot_unfairness_without_cc(self):
+        # Multi-stage round-robin gives hotspot-leaf-local contributors
+        # a full arbitration share while remote contributors split one
+        # spine input: the classic parking-lot problem (paper ref [7]).
+        sim = Simulator()
+        net, _, _ = build_network(sim)
+        col = Collector(net.topology.n_hosts, warmup_ns=1 * MS, track_pairs=True)
+        net.collector = col
+        for hca in net.hcas:
+            hca.metrics = col
+        attach_hotspot_contributors(net, RngRegistry(1), hotspot=0, contributors=range(1, 8))
+        net.run(until=5 * MS)
+        per_flow = [col.rx_by_src.get((s, 0), 0) for s in range(1, 8)]
+        local = per_flow[:1]   # host 1 shares the hotspot's leaf (radix 4)
+        remote = per_flow[1:]  # hosts 2-7 arrive through one spine port
+        assert min(local) > 2 * max(remote)
+        assert jain_fairness(per_flow) < 0.7
+
+    def test_victim_suffers_hol_blocking(self):
+        # Radix 8: hotspot 0 on leaf 0; contributors 2..6 include hosts
+        # 4-6 on leaf 1, whose uplink to spine 0 (hotspot 0 mod 4)
+        # saturates. Victim host 7 (also leaf 1) sends to host 8, which
+        # routes through the same congested uplink (8 mod 4 == 0) to an
+        # otherwise idle destination - pure HOL blocking.
+        sim = Simulator()
+        net, col, _ = build_network(sim, radix=8)
+        rng = RngRegistry(1)
+        attach_hotspot_contributors(net, rng, hotspot=0, contributors=range(2, 7))
+        attach_fixed_flow(net, rng, src=7, dst=8, rate_gbps=13.5)
+        net.run(until=4 * MS)
+        victim_rate = col.rx_rate_gbps(8, 4 * MS)
+        assert victim_rate < 13.5 * 0.6  # victim visibly HOL-blocked
+
+
+class TestMultiVl:
+    def test_vl_isolation_under_congestion(self):
+        # Traffic on VL1 (the CNP VL) is not blocked by VL0 congestion.
+        sim = Simulator()
+        net, col, _ = build_network(sim)
+        rng = RngRegistry(1)
+        attach_hotspot_contributors(net, rng, hotspot=0, contributors=range(2, 8))
+        net.run(until=2 * MS)
+        hca = net.hcas[1]
+        hca.send_cnp(6)  # rides VL1 through the congested fabric
+        before = sim.now
+        net.run(until=before + 0.2 * MS)
+        assert col.control_rx >= 1
+
+
+class TestNetworkConfigValidation:
+    def test_vl_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="n_vls"):
+            NetworkConfig(hca=HcaConfig(n_vls=2, cnp_vl=1), n_vls=3)
+
+    def test_repr(self):
+        sim = Simulator()
+        net, _, _ = build_network(sim)
+        assert "hosts" in repr(net)

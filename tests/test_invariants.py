@@ -1,0 +1,99 @@
+"""Cross-cutting invariant checks under randomized scenarios."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CCManager, CCParams
+from repro.engine import RngRegistry, Simulator
+from repro.metrics import Collector
+from repro.network import Network, NetworkConfig
+from repro.network.packet import Packet
+from repro.topology import three_stage_fat_tree
+from repro.traffic import BNodeSource, HotspotSchedule
+
+
+class FlagAuditor(Collector):
+    """Collector that also audits packet-flag invariants at delivery."""
+
+    def __init__(self, n_nodes, **kw):
+        super().__init__(n_nodes, **kw)
+        self.violations = []
+
+    def record_rx(self, node, pkt: Packet, now):
+        if pkt.is_control and pkt.fecn:
+            self.violations.append("control packet carries FECN")
+        if pkt.is_control and not pkt.becn:
+            self.violations.append("control packet without BECN")
+        if not pkt.is_control and pkt.becn:
+            self.violations.append("data packet carries BECN")
+        if pkt.dst != node:
+            self.violations.append(f"misdelivery: {pkt} arrived at {node}")
+        super().record_rx(node, pkt, now)
+
+
+def random_scenario(seed: int, p: float, cc: bool, horizon_ns: float = 8e5):
+    topo = three_stage_fat_tree(4)
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    col = FlagAuditor(topo.n_hosts, warmup_ns=0.0)
+    net = Network(sim, topo, NetworkConfig(), collector=col)
+    if cc:
+        CCManager(
+            CCParams.paper_table1().with_(cct_slope=0.5, marking_rate=3)
+        ).install(net)
+    schedule = HotspotSchedule.choose_initial(2, topo.n_hosts, rng.stream("hs"))
+    for node in range(topo.n_hosts):
+        if node in schedule.current_targets:
+            continue
+        gen = BNodeSource(
+            node, topo.n_hosts, p, rng.stream("gen", node),
+            hotspot=(lambda s=schedule, k=node % 2: s.target(k)) if p > 0 else None,
+        )
+        gen.bind(net.hcas[node])
+        net.hcas[node].attach_generator(gen)
+    net.run(until=horizon_ns)
+    return net, col
+
+
+class TestFlagInvariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=5000),
+        p=st.sampled_from([0.0, 0.5, 1.0]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_packet_flags_always_consistent(self, seed, p):
+        _, col = random_scenario(seed, p, cc=True)
+        assert col.violations == []
+
+
+class TestRateInvariants:
+    @given(seed=st.integers(min_value=0, max_value=5000), cc=st.booleans())
+    @settings(max_examples=8, deadline=None)
+    def test_no_node_receives_above_sink_cap(self, seed, cc):
+        _, col = random_scenario(seed, 1.0, cc)
+        horizon = 8e5
+        for node in range(col.n_nodes):
+            # Allow the in-flight pipeline to round one packet up.
+            assert col.rx_bytes[node] * 8 / horizon <= 13.6 * 1.05
+
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=5, deadline=None)
+    def test_cc_never_reduces_delivery_below_half(self, seed):
+        # CC must never collapse a congested network's total delivery —
+        # a broad "does no catastrophic harm" invariant.
+        _, off = random_scenario(seed, 0.8, cc=False)
+        _, on = random_scenario(seed, 0.8, cc=True)
+        assert sum(on.rx_bytes) > 0.5 * sum(off.rx_bytes)
+
+
+class TestBufferInvariants:
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=5, deadline=None)
+    def test_occupancy_within_capacity_throughout(self, seed):
+        # Any violation raises inside deliver(); reaching the end of a
+        # congested run means flow control never over-committed.
+        net, _ = random_scenario(seed, 1.0, cc=True)
+        for sw in net.switches:
+            for ip in sw.input_ports:
+                for vl, occ in enumerate(ip.occupancy):
+                    assert 0 <= occ <= ip.capacity

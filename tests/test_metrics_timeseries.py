@@ -1,0 +1,92 @@
+"""Tests for time-series sampling."""
+
+import pytest
+
+from repro.engine import RngRegistry, Simulator
+from repro.metrics import TimeSeries
+
+from tests.conftest import attach_hotspot_contributors, build_network
+
+
+class TestTimeSeries:
+    def test_sampling_cadence(self):
+        sim = Simulator()
+        ts = TimeSeries(sim, 100.0, {"clock": lambda: sim.now}).start()
+        sim.run(until=1000.0)
+        assert ts.times == pytest.approx([100.0 * i for i in range(1, 11)])
+        assert ts.samples["clock"] == pytest.approx(ts.times)
+
+    def test_multiple_probes_sampled_together(self):
+        sim = Simulator()
+        counter = {"n": 0}
+
+        def bump():
+            counter["n"] += 1
+            return counter["n"]
+
+        ts = TimeSeries(sim, 50.0, {"a": bump, "b": lambda: 7.0}).start()
+        sim.run(until=200.0)
+        assert len(ts.samples["a"]) == len(ts.samples["b"]) == len(ts.times)
+        assert ts.samples["b"] == [7.0] * len(ts.times)
+
+    def test_stop_halts_sampling(self):
+        sim = Simulator()
+        ts = TimeSeries(sim, 100.0, {"x": lambda: 0.0}).start()
+        sim.schedule(250.0, ts.stop)
+        sim.run(until=1000.0)
+        assert len(ts.times) == 2
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            TimeSeries(sim, 0.0, {"x": lambda: 0.0})
+        with pytest.raises(ValueError):
+            TimeSeries(sim, 1.0, {})
+
+    def test_start_idempotent(self):
+        sim = Simulator()
+        ts = TimeSeries(sim, 100.0, {"x": lambda: 1.0})
+        ts.start()
+        ts.start()
+        sim.run(until=300.0)
+        assert len(ts.times) == 3  # not doubled
+
+
+class TestProbes:
+    def test_rate_and_queue_probes_on_live_network(self):
+        sim = Simulator()
+        net, col, _ = build_network(sim)
+        attach_hotspot_contributors(
+            net, RngRegistry(1), hotspot=0, contributors=range(1, 8)
+        )
+        att = net.topology.host_attachment(0)
+        interval = 1e5
+        ts = TimeSeries(
+            sim,
+            interval,
+            {
+                "hotspot_gbps": TimeSeries.rate_probe(col, 0, interval),
+                "root_queue": TimeSeries.queue_probe(
+                    net.switches[att.switch_id], att.switch_port
+                ),
+            },
+        ).start()
+        net.run(until=2e6)
+        # The hotspot ramps to its sink cap and the root queue builds.
+        assert max(ts.samples["hotspot_gbps"]) > 12.0
+        assert max(ts.samples["root_queue"]) > 0.0
+
+    def test_throttle_probe(self):
+        from repro.core import CCParams
+
+        sim = Simulator()
+        net, col, mgr = build_network(
+            sim, cc=True,
+            cc_params=CCParams.paper_table1().with_(cct_slope=0.5, marking_rate=3),
+        )
+        attach_hotspot_contributors(
+            net, RngRegistry(1), hotspot=0, contributors=range(1, 8)
+        )
+        ts = TimeSeries(sim, 1e5, {"throttled": TimeSeries.throttle_probe(mgr)}).start()
+        net.run(until=3e6)
+        assert max(ts.samples["throttled"]) > 0

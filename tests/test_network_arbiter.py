@@ -1,0 +1,150 @@
+"""Unit tests for the per-output round-robin VL arbiter."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.network.packet import Packet
+from repro.network.switch import Switch
+
+
+class Capture:
+    def __init__(self):
+        self.packets = []
+
+    def deliver(self, pkt):
+        self.packets.append(pkt)
+
+
+def make_switch(sim, n_ports=4, **kwargs):
+    """Switch with every output wired to a capture sink with credits."""
+    sw = Switch(sim, 0, n_ports, **kwargs)
+    sw.set_lft(list(range(n_ports)))  # dst i leaves via port i
+    sinks = []
+    for out in sw.output_ports:
+        out.credits = [10.0**9] * sw.n_vls
+        sink = Capture()
+        out.peer = sink
+        sinks.append(sink)
+    return sw, sinks
+
+
+class TestQueuedBytesAccounting:
+    def test_increment_on_queue(self):
+        sim = Simulator()
+        sw, _ = make_switch(sim, obuf_capacity=0)
+        sw.input_ports[0].deliver(Packet(0, 1, 500, header=0))
+        sw.input_ports[2].deliver(Packet(2, 1, 700, header=0))
+        assert sw.arbiters[1].queued_bytes[0] == 1200
+
+    def test_decrement_on_grant(self):
+        sim = Simulator()
+        sw, _ = make_switch(sim)
+        sw.input_ports[0].deliver(Packet(0, 1, 500, header=0))
+        sim.run()
+        assert sw.arbiters[1].queued_bytes[0] == 0
+
+    def test_total_queued_accessor(self):
+        sim = Simulator()
+        sw, _ = make_switch(sim, obuf_capacity=0)
+        sw.input_ports[0].deliver(Packet(0, 3, 500, header=0))
+        assert sw.arbiters[3].total_queued(0) == 500
+        assert sw.queued_bytes(3, 0) == 500
+
+
+class TestRoundRobinFairness:
+    def test_grants_alternate_between_inputs(self):
+        sim = Simulator()
+        # Tiny obuf: one packet at a time, so grant order is observable.
+        sw, sinks = make_switch(sim, obuf_capacity=600)
+        # Stall the output (no credits) while VoQs fill, then release.
+        sw.output_ports[1].credits = [0.0] * sw.n_vls
+        for i in range(3):
+            sw.input_ports[0].deliver(Packet(0, 1, 500, header=0, msg_id=100 + i))
+            sw.input_ports[2].deliver(Packet(2, 1, 500, header=0, msg_id=200 + i))
+        sim.run()
+        sw.output_ports[1].on_credit((0, 10.0**9))
+        sim.run()
+        order = [p.src for p in sinks[1].packets]
+        assert order == [0, 2, 0, 2, 0, 2]
+
+    def test_share_is_equal_under_saturation(self):
+        sim = Simulator()
+        sw, sinks = make_switch(sim, obuf_capacity=600)
+        sw.output_ports[1].credits = [0.0] * sw.n_vls
+        for i in range(12):
+            sw.input_ports[0].deliver(Packet(0, 1, 500, header=0))
+        for i in range(12):
+            sw.input_ports[3].deliver(Packet(3, 1, 500, header=0))
+        sim.run()
+        sw.output_ports[1].on_credit((0, 10.0**9))
+        sim.run()
+        # The obuf may have pre-buffered a packet before port 3 had any
+        # queued, so allow one packet of skew in the first window.
+        first8 = [p.src for p in sinks[1].packets[:8]]
+        assert abs(first8.count(0) - first8.count(3)) <= 2
+        allp = [p.src for p in sinks[1].packets]
+        assert allp.count(0) == 12 and allp.count(3) == 12
+
+    def test_empty_voq_removed_from_rotation(self):
+        sim = Simulator()
+        sw, sinks = make_switch(sim)
+        sw.input_ports[0].deliver(Packet(0, 1, 500, header=0))
+        sim.run()
+        # Deliver again later: must still be granted (re-armed).
+        sw.input_ports[0].deliver(Packet(0, 1, 500, header=0))
+        sim.run()
+        assert len(sinks[1].packets) == 2
+
+    def test_grant_counter(self):
+        sim = Simulator()
+        sw, _ = make_switch(sim)
+        for _ in range(5):
+            sw.input_ports[0].deliver(Packet(0, 2, 100, header=0))
+        sim.run()
+        assert sw.arbiters[2].grants == 5
+
+
+class TestVlRotation:
+    def test_both_vls_served(self):
+        sim = Simulator()
+        sw, sinks = make_switch(sim, n_vls=2)
+        sw.input_ports[0].deliver(Packet(0, 1, 500, header=0, vl=0))
+        sw.input_ports[0].deliver(Packet(0, 1, 500, header=0, vl=1))
+        sim.run()
+        assert len(sinks[1].packets) == 2
+        assert {p.vl for p in sinks[1].packets} == {0, 1}
+
+    def test_blocked_vl_does_not_block_other_vl(self):
+        sim = Simulator()
+        sw, sinks = make_switch(sim, n_vls=2, obuf_capacity=10_000)
+        # No credits on VL0 downstream; VL1 has credits.
+        sw.output_ports[1].credits = [0.0, 10.0**9]
+        sw.input_ports[0].deliver(Packet(0, 1, 500, header=0, vl=0))
+        sw.input_ports[0].deliver(Packet(0, 1, 500, header=0, vl=1))
+        sim.run()
+        delivered = [p.vl for p in sinks[1].packets]
+        assert delivered == [1]
+
+
+class TestBackpressure:
+    def test_full_obuf_stalls_grants(self):
+        sim = Simulator()
+        sw, _ = make_switch(sim, obuf_capacity=1000)
+        sw.output_ports[1].credits = [0.0] * sw.n_vls  # wedge the output
+        for _ in range(5):
+            sw.input_ports[0].deliver(Packet(0, 1, 500, header=0))
+        sim.run()
+        # obuf holds 2 x 500; the rest wait in the VoQ.
+        assert sw.output_ports[1].queue_bytes == 1000
+        assert sw.arbiters[1].queued_bytes[0] == 1500
+
+    def test_space_release_resumes_grants(self):
+        sim = Simulator()
+        sw, sinks = make_switch(sim, obuf_capacity=1000)
+        sw.output_ports[1].credits = [0.0] * sw.n_vls
+        for _ in range(5):
+            sw.input_ports[0].deliver(Packet(0, 1, 500, header=0))
+        sim.run()
+        sw.output_ports[1].on_credit((0, 10.0**9))
+        sim.run()
+        assert len(sinks[1].packets) == 5

@@ -1,0 +1,247 @@
+"""Unit tests for the Host Channel Adapter."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.network.hca import Hca, HcaConfig
+from repro.network.packet import Packet
+from repro.network.ports import LinkConfig, OutputPort
+
+
+class Capture:
+    def __init__(self):
+        self.packets = []
+
+    def deliver(self, pkt):
+        self.packets.append(pkt)
+
+
+class ScriptedGen:
+    """A generator emitting a fixed list of (ready-now) packets."""
+
+    def __init__(self, packets):
+        self.pending = list(packets)
+
+    def bind(self, hca):
+        pass
+
+    def next_packet(self, now):
+        if self.pending:
+            return self.pending.pop(0), None
+        return None, None
+
+
+class TestHcaConfig:
+    def test_defaults_match_paper(self):
+        cfg = HcaConfig()
+        assert cfg.inj_rate_gbps == 13.5
+        assert cfg.sink_rate_gbps == 13.6
+        assert cfg.mtu == 2048
+        assert cfg.msg_packets == 2
+
+    def test_cnp_on_dedicated_vl_by_default(self):
+        cfg = HcaConfig()
+        assert cfg.n_vls == 2 and cfg.cnp_vl == 1
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            HcaConfig(inj_rate_gbps=0)
+        with pytest.raises(ValueError):
+            HcaConfig(sink_rate_gbps=-1)
+
+    def test_invalid_cnp_vl(self):
+        with pytest.raises(ValueError):
+            HcaConfig(n_vls=1, cnp_vl=1)
+
+    def test_invalid_coalesce(self):
+        with pytest.raises(ValueError):
+            HcaConfig(cnp_coalesce_ns=-1.0)
+
+
+class TestInjection:
+    def test_generator_packets_reach_the_wire(self):
+        sim = Simulator()
+        hca = Hca(sim, 0)
+        hca.obuf.credits = [10.0**9] * 2
+        peer = Capture()
+        hca.obuf.peer = peer
+        pkts = [Packet(0, 1, 2048) for _ in range(3)]
+        hca.attach_generator(ScriptedGen(pkts))
+        sim.run()
+        assert peer.packets == pkts
+
+    def test_t_inject_stamped(self):
+        sim = Simulator()
+        hca = Hca(sim, 0)
+        hca.obuf.credits = [10.0**9] * 2
+        hca.obuf.peer = Capture()
+        pkt = Packet(0, 1, 2048)
+        hca.attach_generator(ScriptedGen([pkt]))
+        sim.run()
+        assert pkt.t_inject >= 0.0
+
+    def test_wake_scheduled_for_future_work(self):
+        sim = Simulator()
+        hca = Hca(sim, 0)
+        hca.obuf.credits = [10.0**9] * 2
+        peer = Capture()
+        hca.obuf.peer = peer
+
+        class LaterGen:
+            def __init__(self):
+                self.emitted = False
+
+            def next_packet(self, now):
+                if now < 500.0:
+                    return None, 500.0
+                if not self.emitted:
+                    self.emitted = True
+                    return Packet(0, 1, 100), None
+                return None, None
+
+        hca.attach_generator(LaterGen())
+        sim.run()
+        assert len(peer.packets) == 1
+        assert sim.now >= 500.0
+
+    def test_obuf_backpressure_pauses_generator(self):
+        sim = Simulator()
+        hca = Hca(sim, 0, config=HcaConfig(obuf_capacity=4500))
+        hca.obuf.credits = [0.0, 0.0]  # wire wedged: nothing leaves
+        hca.obuf.peer = Capture()
+        pkts = [Packet(0, 1, 2048) for _ in range(5)]
+        gen = ScriptedGen(pkts)
+        hca.attach_generator(gen)
+        sim.run()
+        # Two packets fit (2 x 2078 = 4156 <= 4500); the rest wait.
+        assert len(gen.pending) == 3
+
+
+class TestSink:
+    def test_sink_rate_paces_consumption(self):
+        sim = Simulator()
+        hca = Hca(sim, 1)
+        upstream = OutputPort(sim, LinkConfig(), n_vls=2)
+        hca.input_port.upstream = upstream
+        received = []
+        hca.metrics = type(
+            "M",
+            (),
+            {
+                "record_rx": lambda self, n, p, t: received.append(t),
+                "record_tx": lambda self, n, p, t: None,
+            },
+        )()
+        # Deliver two packets at t=0; service is serial at 13.6 Gbit/s.
+        hca.input_port.deliver(Packet(0, 1, 2048, header=0))
+        hca.input_port.deliver(Packet(0, 1, 2048, header=0))
+        sim.run()
+        per_pkt = 2048 * 8 / 13.6
+        assert received[0] == pytest.approx(per_pkt)
+        assert received[1] == pytest.approx(2 * per_pkt)
+
+    def test_credits_returned_after_service(self):
+        sim = Simulator()
+        hca = Hca(sim, 1)
+        upstream = OutputPort(sim, LinkConfig(), n_vls=2)
+        hca.input_port.upstream = upstream
+        hca.input_port.deliver(Packet(0, 1, 2048, header=0))
+        sim.run()
+        assert upstream.credits[0] == pytest.approx(2048.0)
+
+    def test_ibuf_overflow_detected(self):
+        sim = Simulator()
+        hca = Hca(sim, 1, config=HcaConfig(ibuf_capacity=1000))
+        with pytest.raises(RuntimeError, match="overflow"):
+            hca.input_port.deliver(Packet(0, 1, 2048, header=0))
+
+
+class TestCnpPath:
+    def _hca_with_cc(self, sim, coalesce=0.0):
+        hca = Hca(sim, 1, config=HcaConfig(cnp_coalesce_ns=coalesce))
+        hca.obuf.credits = [10.0**9] * 2
+        peer = Capture()
+        hca.obuf.peer = peer
+        hca.cc = type(
+            "CC",
+            (),
+            {
+                "on_becn": lambda self, flow, sl: None,
+                "on_inject": lambda self, pkt: None,
+                "next_allowed": lambda self, flow, sl=0: 0.0,
+            },
+        )()
+        return hca, peer
+
+    def test_fecn_triggers_cnp(self):
+        sim = Simulator()
+        hca, peer = self._hca_with_cc(sim)
+        pkt = Packet(0, 1, 2048, header=0)
+        pkt.fecn = True
+        hca.input_port.deliver(pkt)
+        sim.run()
+        assert len(peer.packets) == 1
+        cnp = peer.packets[0]
+        assert cnp.becn and cnp.dst == 0 and cnp.flow == (0, 1)
+
+    def test_cnp_uses_dedicated_vl(self):
+        sim = Simulator()
+        hca, peer = self._hca_with_cc(sim)
+        pkt = Packet(0, 1, 2048, header=0)
+        pkt.fecn = True
+        hca.input_port.deliver(pkt)
+        sim.run()
+        assert peer.packets[0].vl == hca.config.cnp_vl == 1
+
+    def test_no_cnp_without_cc(self):
+        sim = Simulator()
+        hca = Hca(sim, 1)
+        hca.obuf.credits = [10.0**9] * 2
+        peer = Capture()
+        hca.obuf.peer = peer
+        pkt = Packet(0, 1, 2048, header=0)
+        pkt.fecn = True
+        hca.input_port.deliver(pkt)
+        sim.run()
+        assert peer.packets == []
+
+    def test_cnp_coalescing_per_source(self):
+        sim = Simulator()
+        hca, peer = self._hca_with_cc(sim, coalesce=10_000.0)
+        for _ in range(3):
+            pkt = Packet(0, 1, 2048, header=0)
+            pkt.fecn = True
+            hca.input_port.deliver(pkt)
+        sim.run()
+        assert hca.cnps_sent == 1  # burst coalesced
+
+    def test_coalescing_does_not_suppress_other_sources(self):
+        sim = Simulator()
+        hca, peer = self._hca_with_cc(sim, coalesce=10_000.0)
+        for src in (0, 2, 3):
+            pkt = Packet(src, 1, 2048, header=0)
+            pkt.fecn = True
+            hca.input_port.deliver(pkt)
+        sim.run()
+        assert hca.cnps_sent == 3
+
+    def test_becn_forwarded_to_cc(self):
+        sim = Simulator()
+        hca = Hca(sim, 0)
+        hca.obuf.credits = [10.0**9] * 2
+        hca.obuf.peer = Capture()
+        seen = []
+        hca.cc = type(
+            "CC",
+            (),
+            {
+                "on_becn": lambda self, flow, sl: seen.append(flow),
+                "on_inject": lambda self, pkt: None,
+                "next_allowed": lambda self, flow, sl=0: 0.0,
+            },
+        )()
+        cnp = Packet.cnp(1, 0)
+        hca.input_port.deliver(cnp)
+        sim.run()
+        assert seen == [(0, 1)]
+        assert hca.becns_received == 1

@@ -1,0 +1,63 @@
+"""Unit tests for packets and flow keys."""
+
+import pytest
+
+from repro.network.packet import CNP_WIRE_BYTES, DEFAULT_HEADER_BYTES, Packet
+
+
+class TestPacket:
+    def test_wire_size_includes_header(self):
+        pkt = Packet(0, 1, 2048)
+        assert pkt.wire_size == 2048 + DEFAULT_HEADER_BYTES
+
+    def test_custom_header(self):
+        pkt = Packet(0, 1, 100, header=10)
+        assert pkt.wire_size == 110
+
+    def test_flow_is_src_dst(self):
+        pkt = Packet(3, 9, 2048)
+        assert pkt.flow == (3, 9)
+
+    def test_bits_default_clear(self):
+        pkt = Packet(0, 1, 2048)
+        assert not pkt.fecn and not pkt.becn and not pkt.is_control
+
+    def test_self_addressed_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(4, 4, 2048)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(0, 1, -1)
+
+    def test_zero_payload_allowed(self):
+        assert Packet(0, 1, 0).payload == 0
+
+    def test_msg_id_recorded(self):
+        assert Packet(0, 1, 10, msg_id=42).msg_id == 42
+
+    def test_vl_sl_defaults(self):
+        pkt = Packet(0, 1, 10)
+        assert pkt.vl == 0 and pkt.sl == 0
+
+    def test_repr_contains_endpoints(self):
+        assert "0->1" in repr(Packet(0, 1, 10))
+
+
+class TestCnp:
+    def test_cnp_direction_and_flow(self):
+        # Node 9 (destination of the data flow) notifies node 3 (source).
+        cnp = Packet.cnp(9, 3)
+        assert cnp.src == 9 and cnp.dst == 3
+        # The flow key is the original data flow 3 -> 9.
+        assert cnp.flow == (3, 9)
+
+    def test_cnp_flags(self):
+        cnp = Packet.cnp(1, 0)
+        assert cnp.becn and cnp.is_control and not cnp.fecn
+
+    def test_cnp_wire_size(self):
+        assert Packet.cnp(1, 0).wire_size == CNP_WIRE_BYTES
+
+    def test_cnp_vl_override(self):
+        assert Packet.cnp(1, 0, vl=1).vl == 1

@@ -1,0 +1,254 @@
+"""Unit tests for output ports (obuf) and switch input ports (ibuf)."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.network.packet import Packet
+from repro.network.ports import LinkConfig, OutputPort
+
+
+class Capture:
+    """Stub downstream endpoint that records deliveries."""
+
+    def __init__(self):
+        self.packets = []
+        self.times = []
+
+    def deliver(self, pkt):
+        self.packets.append(pkt)
+
+
+class CaptureWithTime(Capture):
+    def __init__(self, sim):
+        super().__init__()
+        self.sim = sim
+
+    def deliver(self, pkt):
+        self.packets.append(pkt)
+        self.times.append(self.sim.now)
+
+
+def make_port(sim, *, rate=20.0, prop=50.0, capacity=8192, n_vls=1, credits=10**9):
+    port = OutputPort(sim, LinkConfig(rate, prop), capacity=capacity, n_vls=n_vls)
+    port.credits = [float(credits)] * n_vls
+    peer = CaptureWithTime(sim)
+    port.peer = peer
+    return port, peer
+
+
+class TestLinkConfig:
+    def test_byte_time(self):
+        # 20 Gbit/s = 2.5 bytes/ns -> 0.4 ns per byte.
+        assert LinkConfig(20.0).byte_time_ns == pytest.approx(0.4)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            LinkConfig(0.0)
+
+    def test_invalid_delay(self):
+        with pytest.raises(ValueError):
+            LinkConfig(20.0, -1.0)
+
+
+class TestOutputPortSerialization:
+    def test_delivery_after_serialization_and_propagation(self):
+        sim = Simulator()
+        port, peer = make_port(sim)
+        pkt = Packet(0, 1, 1000, header=0)  # 1000 B -> 400 ns at 20G
+        port.enqueue(pkt)
+        sim.run()
+        assert peer.packets == [pkt]
+        assert peer.times[0] == pytest.approx(400.0 + 50.0)
+
+    def test_packets_serialized_back_to_back(self):
+        sim = Simulator()
+        port, peer = make_port(sim)
+        for _ in range(3):
+            port.enqueue(Packet(0, 1, 1000, header=0))
+        sim.run()
+        assert peer.times == pytest.approx([450.0, 850.0, 1250.0])
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        port, peer = make_port(sim)
+        pkts = [Packet(0, 1, 100, header=0, msg_id=i) for i in range(5)]
+        for p in pkts:
+            port.enqueue(p)
+        sim.run()
+        assert [p.msg_id for p in peer.packets] == [0, 1, 2, 3, 4]
+
+    def test_front_enqueue_jumps_queue(self):
+        sim = Simulator()
+        port, peer = make_port(sim)
+        first = Packet(0, 1, 1000, header=0, msg_id=0)
+        second = Packet(0, 1, 1000, header=0, msg_id=1)
+        urgent = Packet(0, 1, 64, header=0, msg_id=99)
+        port.enqueue(first)  # starts transmitting immediately
+        port.enqueue(second)
+        port.enqueue(urgent, front=True)
+        sim.run()
+        assert [p.msg_id for p in peer.packets] == [0, 99, 1]
+
+    def test_throughput_matches_link_rate(self):
+        sim = Simulator()
+        port, peer = make_port(sim)
+        n, size = 100, 2000
+        for _ in range(n):
+            port.enqueue(Packet(0, 1, size, header=0))
+        sim.run()
+        # Last delivery at n * size * 0.4 + prop.
+        assert peer.times[-1] == pytest.approx(n * size * 0.4 + 50.0)
+
+    def test_stats_counters(self):
+        sim = Simulator()
+        port, _ = make_port(sim)
+        port.enqueue(Packet(0, 1, 1000, header=0))
+        port.enqueue(Packet(0, 1, 500, header=0))
+        sim.run()
+        assert port.packets_sent == 2
+        assert port.bytes_sent == 1500
+
+
+class TestOutputPortCredits:
+    def test_blocked_without_credits(self):
+        sim = Simulator()
+        port, peer = make_port(sim, credits=0)
+        port.enqueue(Packet(0, 1, 1000, header=0))
+        sim.run()
+        assert peer.packets == []
+        assert port.queue_bytes == 1000
+
+    def test_partial_credits_insufficient(self):
+        sim = Simulator()
+        port, peer = make_port(sim, credits=999)
+        port.enqueue(Packet(0, 1, 1000, header=0))
+        sim.run()
+        assert peer.packets == []
+
+    def test_credit_arrival_unblocks(self):
+        sim = Simulator()
+        port, peer = make_port(sim, credits=0)
+        port.enqueue(Packet(0, 1, 1000, header=0))
+        sim.schedule(100.0, port.on_credit, (0, 1000))
+        sim.run()
+        assert len(peer.packets) == 1
+        assert peer.times[0] == pytest.approx(100.0 + 400.0 + 50.0)
+
+    def test_credits_consumed_per_packet(self):
+        sim = Simulator()
+        port, peer = make_port(sim, credits=2500)
+        port.enqueue(Packet(0, 1, 1000, header=0))
+        port.enqueue(Packet(0, 1, 1000, header=0))
+        port.enqueue(Packet(0, 1, 1000, header=0))
+        sim.run()
+        assert len(peer.packets) == 2  # third blocked at 500 credits
+        assert port.credits[0] == pytest.approx(500.0)
+
+    def test_per_vl_credit_isolation(self):
+        sim = Simulator()
+        port, peer = make_port(sim, n_vls=2, credits=0)
+        port.credits[1] = 10_000.0
+        blocked = Packet(0, 1, 1000, header=0)      # vl 0, no credits
+        free = Packet(0, 1, 1000, header=0, vl=1)   # vl 1, credits
+        port.enqueue(free)
+        port.enqueue(blocked)
+        sim.run()
+        assert peer.packets == [free]
+
+    def test_no_hol_blocking_across_vls(self):
+        # VLs are separate queues through the egress stage: a
+        # credit-blocked VL0 head must not block a VL1 packet (this is
+        # what keeps CNPs deliverable through a congested fabric).
+        sim = Simulator()
+        port, peer = make_port(sim, n_vls=2, credits=0)
+        port.credits[1] = 10_000.0
+        blocked = Packet(0, 1, 1000, header=0)
+        free = Packet(0, 1, 1000, header=0, vl=1)
+        port.enqueue(blocked)
+        port.enqueue(free)
+        sim.run()
+        assert peer.packets == [free]
+        assert port.queue_bytes == 1000  # the VL0 packet still waits
+
+    def test_vl_round_robin_when_both_have_credits(self):
+        sim = Simulator()
+        port, peer = make_port(sim, n_vls=2, credits=10**9)
+        for i in range(3):
+            port.enqueue(Packet(0, 1, 100, header=0, vl=0, msg_id=i))
+        for i in range(3):
+            port.enqueue(Packet(0, 1, 100, header=0, vl=1, msg_id=10 + i))
+        sim.run()
+        vls = [p.vl for p in peer.packets]
+        # Perfect alternation after the first packet.
+        assert vls.count(0) == 3 and vls.count(1) == 3
+        assert vls[1:5] in ([1, 0, 1, 0], [0, 1, 0, 1])
+
+
+class TestOutputPortSpace:
+    def test_has_space(self):
+        sim = Simulator()
+        port, _ = make_port(sim, capacity=3000, credits=0)
+        assert port.has_space(3000)
+        port.enqueue(Packet(0, 1, 2000, header=0))
+        assert port.has_space(1000)
+        assert not port.has_space(1001)
+
+    def test_free_space(self):
+        sim = Simulator()
+        port, _ = make_port(sim, capacity=3000, credits=0)
+        port.enqueue(Packet(0, 1, 1200, header=0))
+        assert port.free_space == 1800
+
+    def test_on_space_called_when_head_departs(self):
+        sim = Simulator()
+        port, _ = make_port(sim)
+        calls = []
+        port.on_space = lambda: calls.append(sim.now)
+        port.enqueue(Packet(0, 1, 1000, header=0))
+        sim.run()
+        assert calls  # fired as the packet left the queue
+
+
+class TestSwitchInputPort:
+    def _one_switch(self, sim, **kwargs):
+        from repro.network.switch import Switch
+
+        sw = Switch(sim, 0, 2, **kwargs)
+        sw.set_lft([0, 1])
+        return sw
+
+    def test_overflow_raises(self):
+        sim = Simulator()
+        sw = self._one_switch(sim, ibuf_capacity=1000)
+        with pytest.raises(RuntimeError, match="overflow"):
+            sw.input_ports[0].deliver(Packet(0, 1, 1001, header=0))
+
+    def test_routing_loop_detected(self):
+        sim = Simulator()
+        sw = self._one_switch(sim)
+        # LFT says destination 1 leaves via port 1; deliver to port 1.
+        with pytest.raises(RuntimeError, match="loop"):
+            sw.input_ports[1].deliver(Packet(0, 1, 100, header=0))
+
+    def test_credit_returned_on_grant(self):
+        sim = Simulator()
+        sw = self._one_switch(sim)
+        upstream, _ = make_port(sim, credits=0)
+        ip = sw.input_ports[0]
+        ip.upstream = upstream
+        ip.credit_delay_ns = 10.0
+        sw.output_ports[1].credits = [10**9] * sw.n_vls
+        sw.output_ports[1].peer = Capture()
+        pkt = Packet(0, 1, 500, header=0)
+        ip.deliver(pkt)
+        sim.run()
+        assert upstream.credits[0] == pytest.approx(500.0)
+
+    def test_occupancy_tracks_packets(self):
+        sim = Simulator()
+        # A zero-size obuf keeps granted packets in the input VoQ.
+        sw = self._one_switch(sim, ibuf_capacity=10_000, obuf_capacity=0)
+        ip = sw.input_ports[0]
+        ip.deliver(Packet(0, 1, 500, header=0))
+        ip.deliver(Packet(0, 1, 700, header=0))
+        assert ip.occupancy[0] == 1200

@@ -1,0 +1,86 @@
+"""Unit tests for the Switch compound module."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.network.packet import Packet
+from repro.network.switch import Switch
+
+
+class Capture:
+    def __init__(self):
+        self.packets = []
+
+    def deliver(self, pkt):
+        self.packets.append(pkt)
+
+
+class TestSwitchConstruction:
+    def test_port_counts(self):
+        sw = Switch(Simulator(), 0, 36)
+        assert len(sw.input_ports) == 36
+        assert len(sw.output_ports) == 36
+        assert len(sw.arbiters) == 36
+
+    def test_arbiters_wired_to_outputs(self):
+        sw = Switch(Simulator(), 0, 4)
+        for i, out in enumerate(sw.output_ports):
+            assert out.on_space is not None
+            assert out.port_index == i
+
+    def test_no_cc_by_default(self):
+        sw = Switch(Simulator(), 0, 4)
+        assert sw.cc is None
+        assert all(out.cc is None for out in sw.output_ports)
+
+
+class TestRouting:
+    def _wired(self, sim, lft):
+        sw = Switch(sim, 7, 3)
+        sw.set_lft(lft)
+        sinks = []
+        for out in sw.output_ports:
+            out.credits = [10.0**9] * sw.n_vls
+            sink = Capture()
+            out.peer = sink
+            sinks.append(sink)
+        return sw, sinks
+
+    def test_route_follows_lft(self):
+        sim = Simulator()
+        sw, sinks = self._wired(sim, [0, 1, 2, 1])
+        sw.input_ports[0].deliver(Packet(9, 3, 100, header=0))
+        sim.run()
+        assert len(sinks[1].packets) == 1
+
+    def test_unroutable_destination(self):
+        sim = Simulator()
+        sw, _ = self._wired(sim, [0, -1])
+        with pytest.raises(RuntimeError, match="no route"):
+            sw.input_ports[0].deliver(Packet(9, 1, 100, header=0))
+
+    def test_route_method_direct(self):
+        sw = Switch(Simulator(), 0, 4)
+        sw.set_lft([3, 2, 1, 0])
+        assert sw.route(Packet(9, 1, 10)) == 2
+
+
+class TestIntrospection:
+    def test_total_buffered_counts_all_ibufs(self):
+        sim = Simulator()
+        sw = Switch(sim, 0, 2, obuf_capacity=0)
+        sw.set_lft([0, 1])
+        sw.input_ports[0].deliver(Packet(5, 1, 300, header=0))
+        sw.input_ports[1].deliver(Packet(6, 0, 200, header=0))
+        assert sw.total_buffered() == 500
+
+    def test_queued_bytes_per_output(self):
+        sim = Simulator()
+        sw = Switch(sim, 0, 2, obuf_capacity=0)
+        sw.set_lft([0, 1])
+        sw.input_ports[0].deliver(Packet(5, 1, 300, header=0))
+        assert sw.queued_bytes(1, 0) == 300
+        assert sw.queued_bytes(0, 0) == 0
+
+    def test_repr(self):
+        assert "ports=4" in repr(Switch(Simulator(), 3, 4))

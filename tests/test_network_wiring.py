@@ -1,0 +1,90 @@
+"""Tests for network construction and wiring invariants."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.metrics import Collector
+from repro.network import Network, NetworkConfig
+from repro.topology import sun_dcs_648, three_stage_fat_tree
+
+
+class TestWiring:
+    def _net(self, radix=4):
+        sim = Simulator()
+        topo = three_stage_fat_tree(radix)
+        return Network(sim, topo, NetworkConfig(), collector=Collector(topo.n_hosts))
+
+    def test_every_output_port_has_a_peer_where_cabled(self):
+        net = self._net()
+        topo = net.topology
+        cabled = set()
+        for hl in topo.host_links:
+            cabled.add((hl.switch_id, hl.switch_port))
+        for sl in topo.switch_links:
+            cabled.add((sl.switch_a, sl.port_a))
+            cabled.add((sl.switch_b, sl.port_b))
+        for sw in net.switches:
+            for port_idx, out in enumerate(sw.output_ports):
+                if (sw.node_id, port_idx) in cabled:
+                    assert out.peer is not None
+
+    def test_initial_credits_equal_downstream_capacity(self):
+        net = self._net()
+        for hca in net.hcas:
+            att = net.topology.host_attachment(hca.node_id)
+            ibuf = net.switches[att.switch_id].input_ports[att.switch_port]
+            assert hca.obuf.credits == [float(ibuf.capacity)] * net.config.n_vls
+
+    def test_switch_to_hca_credits(self):
+        net = self._net()
+        for hl in net.topology.host_links:
+            out = net.switches[hl.switch_id].output_ports[hl.switch_port]
+            assert out.credits[0] == float(net.hcas[hl.host_id].input_port.capacity)
+
+    def test_credit_delay_matches_propagation(self):
+        net = self._net()
+        prop = net.config.link.prop_delay_ns
+        for sw in net.switches:
+            for ip in sw.input_ports:
+                if ip.upstream is not None:
+                    assert ip.credit_delay_ns == prop
+
+    def test_lfts_installed(self):
+        net = self._net()
+        for sw, lft in zip(net.switches, net.topology.lfts):
+            assert sw.lft is lft
+
+    def test_collector_attached_to_all_hcas(self):
+        net = self._net()
+        assert all(h.metrics is net.collector for h in net.hcas)
+
+    def test_topology_validated_on_build(self):
+        from repro.topology.spec import HostLink, SwitchSpec, Topology
+
+        bad = Topology(
+            n_hosts=1,
+            switches=[SwitchSpec(0, 2)],
+            host_links=[HostLink(0, 0, 5)],  # port out of range
+            switch_links=[],
+            lfts=[[0]],
+        )
+        with pytest.raises(ValueError):
+            Network(Simulator(), bad, NetworkConfig())
+
+    def test_full_648_constructs(self):
+        sim = Simulator()
+        topo = sun_dcs_648()
+        net = Network(sim, topo, NetworkConfig(), collector=Collector(648))
+        assert len(net.hcas) == 648
+        assert len(net.switches) == 54
+        # Spot-check a spine port's wiring: spine 0 port 7 faces leaf 7.
+        spine0 = net.switches[36]
+        leaf7 = net.switches[7]
+        hosts_per_leaf = topo.meta["hosts_per_leaf"]
+        assert spine0.output_ports[7].peer is leaf7.input_ports[hosts_per_leaf + 0]
+
+    def test_idle_network_executes_no_events(self):
+        net = self._net()
+        net.run(until=1e6)
+        assert net.sim.events_executed == 0
+        assert net.total_buffered_bytes() == 0

@@ -1,0 +1,109 @@
+"""Property-based tests over the simulation core (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import RngRegistry, Simulator
+from repro.metrics import Collector
+from repro.network import Network, NetworkConfig
+from repro.topology import three_stage_fat_tree
+from repro.traffic import BNodeSource, HotspotSchedule
+
+
+class TestSimulatorOrdering:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_events_fire_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestConservation:
+    """Byte conservation: lossless fabric never creates or drops data."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        p=st.sampled_from([0.0, 0.3, 0.7, 1.0]),
+        cc=st.booleans(),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_rx_never_exceeds_tx(self, seed, p, cc):
+        from repro.core import CCManager, CCParams
+
+        topo = three_stage_fat_tree(4)
+        sim = Simulator()
+        rng = RngRegistry(seed)
+        col = Collector(topo.n_hosts, warmup_ns=0.0)
+        net = Network(sim, topo, NetworkConfig(), collector=col)
+        if cc:
+            CCManager(CCParams.paper_table1().with_(cct_slope=0.5)).install(net)
+        schedule = HotspotSchedule([0])
+        for node in range(1, topo.n_hosts):
+            gen = BNodeSource(
+                node,
+                topo.n_hosts,
+                p,
+                rng.stream("gen", node),
+                hotspot=lambda: 0,
+            )
+            gen.bind(net.hcas[node])
+            net.hcas[node].attach_generator(gen)
+        net.run(until=5e5)
+
+        total_tx = sum(col.tx_bytes)
+        total_rx = sum(col.rx_bytes)
+        assert total_rx <= total_tx
+        # Whatever is missing is genuinely buffered in the fabric (plus
+        # packets inside HCA output buffers / in flight on links).
+        buffered = net.total_buffered_bytes()
+        obufs = sum(h.obuf.queue_bytes for h in net.hcas)
+        for sw in net.switches:
+            obufs += sum(o.queue_bytes for o in sw.output_ports)
+        # Wire overhead: allow header bytes per packet plus a few
+        # packets of slack for in-flight serialization.
+        tx_pkts = sum(col.tx_packets)
+        slack = 30 * tx_pkts + 10 * 4156
+        assert total_tx - total_rx <= buffered + obufs + slack
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_per_node_injection_cap_respected(self, seed):
+        topo = three_stage_fat_tree(4)
+        sim = Simulator()
+        rng = RngRegistry(seed)
+        col = Collector(topo.n_hosts, warmup_ns=0.0)
+        net = Network(sim, topo, NetworkConfig(), collector=col)
+        for node in range(topo.n_hosts):
+            gen = BNodeSource(node, topo.n_hosts, 0.0, rng.stream("gen", node))
+            gen.bind(net.hcas[node])
+            net.hcas[node].attach_generator(gen)
+        horizon = 1e6
+        net.run(until=horizon)
+        for node in range(topo.n_hosts):
+            rate = col.tx_bytes[node] * 8.0 / horizon
+            assert rate <= 13.5 * 1.02 + 4096 * 8 / horizon
+
+
+class TestDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=5, deadline=None)
+    def test_identical_runs_identical_outcomes(self, seed):
+        def run():
+            topo = three_stage_fat_tree(4)
+            sim = Simulator()
+            rng = RngRegistry(seed)
+            col = Collector(topo.n_hosts, warmup_ns=0.0)
+            net = Network(sim, topo, NetworkConfig(), collector=col)
+            for node in range(topo.n_hosts):
+                gen = BNodeSource(node, topo.n_hosts, 0.0, rng.stream("gen", node))
+                gen.bind(net.hcas[node])
+                net.hcas[node].attach_generator(gen)
+            net.run(until=3e5)
+            return list(col.rx_bytes), sim.events_executed
+
+        assert run() == run()

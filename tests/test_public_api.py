@@ -1,0 +1,41 @@
+"""Tests for the top-level public API."""
+
+import pytest
+
+import repro
+from repro import quick_simulation
+
+
+class TestPublicSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+class TestQuickSimulation:
+    def test_cc_off(self):
+        res = quick_simulation(radix=4, cc=False, sim_time_ns=1e6, warmup_ns=2e5)
+        assert len(res["rates_gbps"]) == 8
+        assert res["fecn_marks"] == 0
+        assert res["events"] > 0
+
+    def test_cc_on_marks(self):
+        res = quick_simulation(radix=4, cc=True, sim_time_ns=2e6, warmup_ns=2e5)
+        assert res["fecn_marks"] > 0
+        assert res["becns"] > 0
+
+    def test_hotspot_receives_most(self):
+        res = quick_simulation(radix=4, cc=False, sim_time_ns=2e6, warmup_ns=2e5)
+        rates = res["rates_gbps"]
+        assert rates[0] == max(rates)
+        assert rates[0] > 12.0
+
+    def test_deterministic(self):
+        a = quick_simulation(radix=4, seed=9, sim_time_ns=1e6, warmup_ns=2e5)
+        b = quick_simulation(radix=4, seed=9, sim_time_ns=1e6, warmup_ns=2e5)
+        assert a["rates_gbps"] == b["rates_gbps"]
+        assert a["events"] == b["events"]

@@ -1,0 +1,37 @@
+"""Every example script must at least parse and expose main().
+
+Full example runs take seconds to minutes; the examples are exercised
+manually and in documentation. This guard keeps them importable (syntax
+and import errors fail fast in CI) without paying their runtime.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    top_level_defs = {
+        node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in top_level_defs, f"{path.name} lacks a main()"
+    # Guarded entry point so imports never trigger a run.
+    guards = [
+        node
+        for node in tree.body
+        if isinstance(node, ast.If)
+        and isinstance(node.test, ast.Compare)
+        and getattr(node.test.left, "id", "") == "__name__"
+    ]
+    assert guards, f"{path.name} lacks an if __name__ guard"
+
+
+def test_examples_present():
+    assert len(EXAMPLES) >= 5

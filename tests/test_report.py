@@ -1,0 +1,49 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+import pytest
+
+from repro.experiments.report import PAPER_TABLE2, generate_report
+
+from tests.conftest import MICRO_SCALE
+
+
+class TestPaperConstants:
+    def test_table2_improvement_is_paper_seven_fold(self):
+        imp = PAPER_TABLE2["total_throughput_cc"] / PAPER_TABLE2["total_throughput_no_cc"]
+        assert imp == pytest.approx(7.14, abs=0.05)
+
+    def test_non_hotspot_recovery_ratio(self):
+        # Paper: >1200% improvement for non-hotspots by enabling CC.
+        ratio = (
+            PAPER_TABLE2["hotspots_cc_non_hotspot_avg"]
+            / PAPER_TABLE2["hotspots_no_cc_non_hotspot_avg"]
+        )
+        assert ratio > 12.0
+
+
+@pytest.mark.slow
+class TestGenerateReport:
+    def test_full_report_at_micro_scale(self):
+        text = generate_report(MICRO_SCALE, seed=3, p_values=(0.0, 0.6, 1.0))
+        # Every artifact section is present.
+        for heading in (
+            "# EXPERIMENTS",
+            "## Table I",
+            "## Table II",
+            "## Figure 5",
+            "## Figure 6",
+            "## Figure 7",
+            "## Figure 8",
+            "## Figure 9",
+            "## Figure 10",
+        ):
+            assert heading in text, heading
+        # Paper reference values are embedded alongside measurements.
+        assert "13.602" in text  # paper hotspot rate
+        assert "seventeen-fold" in text
+        # Markdown tables are well-formed (same pipe count per row).
+        for block in text.split("\n\n"):
+            rows = [l for l in block.splitlines() if l.startswith("|")]
+            if rows:
+                counts = {r.count("|") for r in rows}
+                assert len(counts) == 1, block[:120]

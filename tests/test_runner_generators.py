@@ -1,0 +1,70 @@
+"""Tests for the experiment runner's generator construction."""
+
+import pytest
+
+from repro.engine import RngRegistry
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import build_generators
+from repro.traffic import HotspotSchedule
+
+from tests.conftest import MICRO_SCALE
+
+
+def make(cfg_kwargs, n_hosts=16, n_subsets=2, seed=5):
+    cfg = ExperimentConfig(scale=MICRO_SCALE, seed=seed, **cfg_kwargs)
+    rng = RngRegistry(seed)
+    schedule = HotspotSchedule.choose_initial(n_subsets, n_hosts, rng.stream("hotspots"))
+    gens, mix = build_generators(cfg, n_hosts, rng, schedule)
+    return gens, mix, schedule
+
+
+class TestRoleToGenerator:
+    def test_c_nodes_get_p1(self):
+        gens, mix, _ = make({"b_fraction": 0.0})
+        for node in mix.c_nodes:
+            assert gens[node].p == 1.0
+            assert gens[node].hotspot is not None
+
+    def test_v_nodes_get_p0(self):
+        gens, mix, _ = make({"b_fraction": 0.0})
+        for node in mix.v_nodes:
+            assert gens[node].p == 0.0
+            assert gens[node].hotspot is None
+
+    def test_b_nodes_get_config_p(self):
+        gens, mix, _ = make({"b_fraction": 1.0, "p": 0.4})
+        for node in mix.b_nodes:
+            assert gens[node].p == 0.4
+
+    def test_hotspot_provider_bound_to_subset(self):
+        gens, mix, schedule = make({"b_fraction": 0.0})
+        for node in mix.c_nodes:
+            subset = mix.subset_of[node]
+            assert gens[node].hotspot() == schedule.target(subset)
+
+    def test_silenced_contributors(self):
+        gens, mix, _ = make({"b_fraction": 0.0, "contributors_active": False})
+        for node in mix.c_nodes:
+            assert gens[node] is None  # pure contributors fall silent
+        for node in mix.v_nodes:
+            assert gens[node] is not None
+
+    def test_silenced_b_nodes_keep_uniform_share(self):
+        gens, mix, _ = make(
+            {"b_fraction": 1.0, "p": 0.5, "contributors_active": False}
+        )
+        for node in mix.b_nodes:
+            assert gens[node] is not None
+            assert gens[node].p == 0.0  # only the uniform share remains
+
+    def test_injection_rate_propagates(self):
+        gens, mix, _ = make({"b_fraction": 0.0, "inj_rate_gbps": 10.0})
+        active = [g for g in gens if g is not None]
+        # Total budget rate (hotspot + uniform shares) equals the cap.
+        for gen in active:
+            total = sum(b.rate for b in gen.budgets) * 8.0
+            assert total == pytest.approx(10.0)
+
+    def test_one_generator_slot_per_node(self):
+        gens, _, _ = make({"b_fraction": 0.5})
+        assert len(gens) == 16

@@ -1,0 +1,101 @@
+"""Tests for parameter sweeps and the result store."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.store import ResultStore, config_key, result_from_dict, result_to_dict
+from repro.experiments.sweep import sweep
+
+from tests.conftest import MICRO_SCALE
+
+
+def micro_cfg(**kw):
+    # A very small/short config so sweep tests stay fast.
+    return ExperimentConfig(
+        scale=MICRO_SCALE, seed=3, sim_time_ns=1e6, warmup_ns=3e5, **kw
+    )
+
+
+class TestSweep:
+    def test_grid_cartesian_product(self):
+        res = sweep(micro_cfg(), {"threshold": [7, 15], "marking_rate": [0, 3]})
+        assert len(res.cells) == 4
+        assignments = [tuple(c.assignment.values()) for c in res.cells]
+        assert len(set(assignments)) == 4
+
+    def test_cc_param_actually_applied(self):
+        res = sweep(micro_cfg(), {"threshold": [0, 15]})
+        by_thresh = {c.assignment["threshold"]: c for c in res.cells}
+        assert by_thresh[0].result.fecn_marks == 0
+        assert by_thresh[15].result.fecn_marks > 0
+
+    def test_config_field_sweep(self):
+        res = sweep(micro_cfg(), {"cc": [False, True]})
+        by_cc = {c.assignment["cc"]: c for c in res.cells}
+        assert by_cc[False].result.fecn_marks == 0
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep parameter"):
+            sweep(micro_cfg(), {"bogus_knob": [1]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            sweep(micro_cfg(), {"threshold": []})
+
+    def test_best_by(self):
+        res = sweep(micro_cfg(), {"threshold": [0, 15]})
+        best = res.best_by("non_hotspot")
+        assert best.row()["non_hotspot"] == max(
+            c.row()["non_hotspot"] for c in res.cells
+        )
+
+    def test_csv_and_format(self):
+        res = sweep(micro_cfg(), {"threshold": [15]})
+        csv_text = res.to_csv()
+        assert "threshold" in csv_text.splitlines()[0]
+        assert "non_hotspot" in res.format()
+
+    def test_progress_callback(self):
+        seen = []
+        sweep(
+            micro_cfg(),
+            {"threshold": [7, 15]},
+            progress=lambda i, n, a: seen.append((i, n)),
+        )
+        assert seen == [(0, 2), (1, 2)]
+
+
+class TestResultStore:
+    def test_roundtrip(self, tmp_path):
+        cfg = micro_cfg()
+        res = run_experiment(cfg)
+        restored = result_from_dict(result_to_dict(res))
+        assert restored.rates_gbps == res.rates_gbps
+        assert restored.groups == res.groups
+        assert restored.config.seed == cfg.seed
+
+    def test_save_load(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        cfg = micro_cfg()
+        res = run_experiment(cfg)
+        store.save(res)
+        loaded = store.load(cfg)
+        assert loaded is not None
+        assert loaded.rates_gbps == res.rates_gbps
+        assert len(store) == 1
+
+    def test_missing_returns_none(self, tmp_path):
+        assert ResultStore(str(tmp_path)).load(micro_cfg()) is None
+
+    def test_get_or_run_caches(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        cfg = micro_cfg()
+        first = store.get_or_run(cfg)
+        second = store.get_or_run(cfg)
+        assert second.rates_gbps == first.rates_gbps
+        assert len(store) == 1
+
+    def test_key_distinguishes_configs(self):
+        assert config_key(micro_cfg()) != config_key(micro_cfg(cc=False))
+        assert config_key(micro_cfg()) == config_key(micro_cfg())

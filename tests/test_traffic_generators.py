@@ -1,0 +1,157 @@
+"""Tests for the Frame-I traffic generator (B/C/V node roles)."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.generators import BNodeSource, FixedRateSource
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+def drain(gen, duration_ns, *, step_from=0.0):
+    """Pull packets as fast as the generator allows until duration."""
+    out = []
+    now = step_from
+    while now < duration_ns:
+        pkt, t = gen.next_packet(now)
+        if pkt is not None:
+            out.append((now, pkt))
+            continue
+        if t is None or t >= duration_ns:
+            break
+        now = t
+    return out
+
+
+class TestConstruction:
+    def test_p_requires_hotspot(self):
+        with pytest.raises(ValueError, match="hotspot"):
+            BNodeSource(0, 8, 0.5, rng())
+
+    def test_p_range(self):
+        with pytest.raises(ValueError):
+            BNodeSource(0, 8, 1.5, rng(), hotspot=lambda: 1)
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            BNodeSource(0, 1, 0.0, rng())
+
+    def test_fixed_rate_source_rejects_self(self):
+        with pytest.raises(ValueError):
+            FixedRateSource(3, 8, 3, 10.0, rng())
+
+
+class TestVNode:
+    def test_only_uniform_traffic(self):
+        gen = BNodeSource(0, 8, 0.0, rng())
+        pkts = [p for _, p in drain(gen, 1e6)]
+        assert pkts
+        assert all(p.dst != 0 for p in pkts)
+
+    def test_uniform_covers_all_destinations(self):
+        gen = BNodeSource(0, 8, 0.0, rng())
+        dsts = {p.dst for _, p in drain(gen, 5e6)}
+        assert dsts == set(range(1, 8))
+
+    def test_rate_respects_injection_cap(self):
+        gen = BNodeSource(0, 8, 0.0, rng(), inj_rate_gbps=13.5)
+        pkts = drain(gen, 1e6)
+        payload = sum(p.payload for _, p in pkts)
+        assert payload * 8 / 1e6 <= 13.5 * 1.05  # small burst tolerance
+
+    def test_messages_are_two_packets_same_destination(self):
+        gen = BNodeSource(0, 8, 0.0, rng(), msg_packets=2)
+        pkts = [p for _, p in drain(gen, 1e6)]
+        pairs = zip(pkts[0::2], pkts[1::2])
+        for a, b in pairs:
+            assert a.msg_id == b.msg_id
+            assert a.dst == b.dst
+
+
+class TestCNode:
+    def test_all_traffic_to_hotspot(self):
+        gen = BNodeSource(0, 8, 1.0, rng(), hotspot=lambda: 5)
+        pkts = [p for _, p in drain(gen, 1e6)]
+        assert pkts and all(p.dst == 5 for p in pkts)
+
+    def test_stalls_when_hotspot_is_self(self):
+        gen = BNodeSource(0, 8, 1.0, rng(), hotspot=lambda: 0)
+        pkt, t = gen.next_packet(0.0)
+        assert pkt is None and t is None  # waits for an external kick
+
+    def test_follows_hotspot_move(self):
+        target = {"hs": 5}
+        gen = BNodeSource(0, 8, 1.0, rng(), hotspot=lambda: target["hs"])
+        first = [p for _, p in drain(gen, 5e5)]
+        target["hs"] = 3
+        second = [p for _, p in drain(gen, 1e6, step_from=5e5)]
+        assert all(p.dst == 5 for p in first)
+        # After the move, new messages head to the new hotspot.
+        assert second and all(p.dst in (3, 5) for p in second)
+        assert any(p.dst == 3 for p in second)
+
+
+class TestBNode:
+    def test_share_split(self):
+        gen = BNodeSource(0, 16, 0.5, rng(), hotspot=lambda: 7)
+        pkts = [p for _, p in drain(gen, 5e6)]
+        hs = sum(p.payload for p in pkts if p.dst == 7)
+        total = sum(p.payload for p in pkts)
+        # Uniform traffic may also hit node 7 (1/15 of it), so the
+        # hotspot share is slightly above p.
+        assert hs / total == pytest.approx(0.5, abs=0.08)
+
+    def test_both_streams_progress(self):
+        gen = BNodeSource(0, 16, 0.7, rng(), hotspot=lambda: 7)
+        pkts = [p for _, p in drain(gen, 2e6)]
+        assert any(p.dst == 7 for p in pkts)
+        assert any(p.dst != 7 for p in pkts)
+
+    def test_throttled_hotspot_stream_does_not_block_uniform(self):
+        # Frame I's key requirement: a CC-throttled hotspot stream
+        # leaves the uniform stream free to use its own share.
+        class Throttle:
+            def next_allowed(self, flow, sl=0):
+                return 1e9 if flow[1] == 7 else 0.0
+
+        class FakeHca:
+            cc = Throttle()
+
+        gen = BNodeSource(0, 16, 0.5, rng(), hotspot=lambda: 7)
+        gen.bind(FakeHca())
+        pkts = [p for _, p in drain(gen, 2e6)]
+        uniform = [p for p in pkts if p.dst != 7]
+        assert uniform  # kept flowing
+        # And the uniform stream respects its own (1-p) cap: 6.75 Gbit/s.
+        payload = sum(p.payload for p in uniform)
+        assert payload * 8 / 2e6 <= 6.75 * 1.1
+
+    def test_uniform_share_not_exceeded_even_when_hotspot_idle(self):
+        gen = BNodeSource(0, 16, 0.8, rng(), hotspot=lambda: 0)  # hs = self
+        # Hotspot stream stalls (self); uniform must stay at 20%.
+        pkts = drain(gen, 2e6)
+        payload = sum(p.payload for _, p in pkts)
+        assert payload * 8 / 2e6 <= 0.2 * 13.5 * 1.1
+
+
+class TestThrottleRetry:
+    def test_retry_time_propagated(self):
+        class Throttle:
+            def next_allowed(self, flow, sl=0):
+                return 777.0
+
+        class FakeHca:
+            cc = Throttle()
+
+        gen = BNodeSource(0, 8, 1.0, rng(), hotspot=lambda: 5)
+        gen.bind(FakeHca())
+        pkt, t = gen.next_packet(0.0)
+        assert pkt is None and t == 777.0
+
+    def test_counters(self):
+        gen = BNodeSource(0, 8, 0.0, rng())
+        drain(gen, 1e6)
+        assert gen.packets_emitted > 0
+        assert gen.messages_started * gen.msg_packets >= gen.packets_emitted

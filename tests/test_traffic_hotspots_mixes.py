@@ -1,0 +1,146 @@
+"""Tests for hotspot schedules and node-mix assignment."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Simulator
+from repro.traffic.hotspots import HotspotSchedule
+from repro.traffic.mixes import assign_roles
+
+
+def rng():
+    return np.random.default_rng(7)
+
+
+class KickCounter:
+    def __init__(self):
+        self.kicks = 0
+
+    def kick(self):
+        self.kicks += 1
+
+
+class TestStaticSchedule:
+    def test_targets(self):
+        s = HotspotSchedule([3, 9])
+        assert s.n_subsets == 2
+        assert s.target(0) == 3 and s.target(1) == 9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            HotspotSchedule([])
+
+    def test_static_never_moves(self):
+        sim = Simulator()
+        s = HotspotSchedule([3])
+        s.install(sim, [])
+        sim.schedule(1e9, lambda: None)
+        sim.run()
+        assert s.moves == 0 and s.target(0) == 3
+
+    def test_moving_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            HotspotSchedule([3], lifetime_ns=1e6)
+
+    def test_bad_lifetime(self):
+        with pytest.raises(ValueError):
+            HotspotSchedule([3], lifetime_ns=0.0, rng=rng())
+
+
+class TestMovingSchedule:
+    def _moving(self, sim, lifetime=1e6, n_subsets=2, n_nodes=16):
+        return HotspotSchedule.choose_initial(
+            n_subsets, n_nodes, rng(), lifetime_ns=lifetime
+        ), sim
+
+    def test_moves_once_per_lifetime(self):
+        sim = Simulator()
+        s, _ = self._moving(sim)
+        s.install(sim, [])
+        sim.run(until=3.5e6)
+        assert s.moves == 3
+
+    def test_kicks_all_hcas_on_move(self):
+        sim = Simulator()
+        s, _ = self._moving(sim)
+        hcas = [KickCounter() for _ in range(4)]
+        s.install(sim, hcas)
+        sim.run(until=1.5e6)
+        assert all(h.kicks == 1 for h in hcas)
+
+    def test_targets_change_and_stay_distinct(self):
+        sim = Simulator()
+        s, _ = self._moving(sim, n_subsets=4, n_nodes=32)
+        before = list(s.current_targets)
+        s.install(sim, [])
+        sim.run(until=1.5e6)
+        after = list(s.current_targets)
+        assert after != before
+        assert len(set(after)) == 4
+
+    def test_choose_initial_distinct(self):
+        s = HotspotSchedule.choose_initial(8, 64, rng())
+        assert len(set(s.current_targets)) == 8
+
+    def test_choose_initial_too_many(self):
+        with pytest.raises(ValueError):
+            HotspotSchedule.choose_initial(9, 8, rng())
+
+
+class TestAssignRoles:
+    def test_fractions(self):
+        mix = assign_roles(
+            100, b_fraction=0.5, n_subsets=4, hotspots=[0, 1, 2, 3], rng=rng()
+        )
+        assert len(mix.b_nodes) == 50
+        assert len(mix.c_nodes) == 40  # 80% of the remaining 50
+        assert len(mix.v_nodes) == 10
+
+    def test_paper_silent_mix(self):
+        mix = assign_roles(
+            648, b_fraction=0.0, n_subsets=8, hotspots=list(range(8)), rng=rng()
+        )
+        assert len(mix.c_nodes) == 518  # 80% of 648, the paper's count
+        assert len(mix.v_nodes) == 130
+
+    def test_contributors_spread_over_subsets(self):
+        mix = assign_roles(
+            64, b_fraction=1.0, n_subsets=4, hotspots=[0, 1, 2, 3], rng=rng()
+        )
+        counts = [0] * 4
+        for subset in mix.subset_of.values():
+            counts[subset] += 1
+        assert max(counts) - min(counts) <= 2
+
+    def test_never_own_hotspot(self):
+        for seed in range(10):
+            r = np.random.default_rng(seed)
+            hotspots = [0, 1, 2, 3]
+            mix = assign_roles(
+                32, b_fraction=1.0, n_subsets=4, hotspots=hotspots, rng=r
+            )
+            mix.validate_against(hotspots)  # raises on violation
+
+    def test_v_nodes_have_no_subset(self):
+        mix = assign_roles(
+            32, b_fraction=0.0, n_subsets=2, hotspots=[0, 1], rng=rng()
+        )
+        assert all(n not in mix.subset_of for n in mix.v_nodes)
+
+    def test_hotspot_count_must_match_subsets(self):
+        with pytest.raises(ValueError):
+            assign_roles(32, b_fraction=0.0, n_subsets=2, hotspots=[0], rng=rng())
+
+    def test_deterministic_for_seed(self):
+        a = assign_roles(64, b_fraction=0.25, n_subsets=2, hotspots=[0, 1],
+                         rng=np.random.default_rng(5))
+        b = assign_roles(64, b_fraction=0.25, n_subsets=2, hotspots=[0, 1],
+                         rng=np.random.default_rng(5))
+        assert a.roles == b.roles and a.subset_of == b.subset_of
+
+    def test_roles_cover_every_node(self):
+        mix = assign_roles(
+            50, b_fraction=0.3, n_subsets=2, hotspots=[0, 1], rng=rng()
+        )
+        assert set(mix.roles) == set(range(50))
+        assert set(mix.roles.values()) <= {"B", "C", "V"}

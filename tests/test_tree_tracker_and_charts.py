@@ -1,0 +1,126 @@
+"""Tests for the congestion-tree tracker and the ASCII chart helpers."""
+
+import pytest
+
+from repro.engine import RngRegistry, Simulator
+from repro.metrics import CongestionTreeTracker, line_chart, sparkline
+from repro.metrics.tree_tracker import TreeDynamics
+
+from tests.conftest import attach_hotspot_contributors, build_network
+
+MS = 1e6
+
+
+class TestTrackerMechanics:
+    def test_sampling(self):
+        sim = Simulator()
+        net, _, _ = build_network(sim)
+        tracker = CongestionTreeTracker(net, 0.2 * MS).start()
+        net.run(until=1 * MS)
+        assert len(tracker.samples) == 5
+
+    def test_validation(self):
+        sim = Simulator()
+        net, _, _ = build_network(sim)
+        with pytest.raises(ValueError):
+            CongestionTreeTracker(net, 0.0)
+        tracker = CongestionTreeTracker(net, 1.0)
+        with pytest.raises(ValueError, match="two samples"):
+            tracker.dynamics()
+
+    def test_stop(self):
+        sim = Simulator()
+        net, _, _ = build_network(sim)
+        tracker = CongestionTreeTracker(net, 0.2 * MS).start()
+        sim.schedule(0.5 * MS, tracker.stop)
+        net.run(until=2 * MS)
+        assert len(tracker.samples) == 2
+
+
+class TestClassification:
+    def test_idle_network_classifies_none(self):
+        sim = Simulator()
+        net, _, _ = build_network(sim)
+        tracker = CongestionTreeTracker(net, 0.2 * MS).start()
+        net.run(until=2 * MS)
+        assert tracker.dynamics().classify() == "none"
+
+    def test_silent_forest_classifies_silent(self):
+        sim = Simulator()
+        net, _, _ = build_network(sim, radix=8)
+        attach_hotspot_contributors(
+            net, RngRegistry(1), hotspot=0, contributors=range(2, 8)
+        )
+        tracker = CongestionTreeTracker(net, 0.25 * MS).start()
+        net.run(until=6 * MS)
+        dyn = tracker.dynamics()
+        assert dyn.congested_fraction > 0.5
+        assert dyn.classify() == "silent"
+
+    def test_moving_hotspots_classify_moving(self):
+        from repro.traffic import BNodeSource, HotspotSchedule
+
+        sim = Simulator()
+        net, _, _ = build_network(sim, radix=8)
+        rng = RngRegistry(1)
+        n = net.topology.n_hosts
+        schedule = HotspotSchedule.choose_initial(
+            2, n, rng.stream("hs"), lifetime_ns=1 * MS
+        )
+        for node in range(n):
+            if node in schedule.current_targets:
+                continue
+            gen = BNodeSource(
+                node, n, 1.0, rng.stream("gen", node),
+                hotspot=lambda s=schedule, k=node % 2: s.target(k),
+            )
+            gen.bind(net.hcas[node])
+            net.hcas[node].attach_generator(gen)
+        schedule.install(sim, net.hcas)
+        tracker = CongestionTreeTracker(net, 0.25 * MS).start()
+        net.run(until=8 * MS)
+        dyn = tracker.dynamics()
+        assert dyn.root_churn > 0.25
+        assert dyn.classify() == "moving"
+
+    def test_classify_thresholds(self):
+        assert TreeDynamics(10, 0.0, 0.0, 0.0).classify() == "none"
+        assert TreeDynamics(10, 0.0, 0.1, 0.9).classify() == "silent"
+        assert TreeDynamics(10, 0.1, 0.5, 0.9).classify() == "windy"
+        assert TreeDynamics(10, 0.5, 0.5, 0.9).classify() == "moving"
+
+
+class TestSparkline:
+    def test_range_mapping(self):
+        line = sparkline([0, 10])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestLineChart:
+    def test_renders_all_series(self):
+        chart = line_chart(
+            {"on": [1, 2, 3], "off": [3, 2, 1]},
+            x=[0, 50, 100],
+            width=30,
+            height=8,
+        )
+        assert "*" in chart and "o" in chart
+        assert "on" in chart and "off" in chart
+
+    def test_axis_labels(self):
+        chart = line_chart({"a": [1, 2]}, x=[0, 1], x_label="p%", y_label="Gbit/s")
+        assert "p%" in chart and "Gbit/s" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({}, x=[])
+
+    def test_constant_series_renders(self):
+        chart = line_chart({"a": [2.0, 2.0, 2.0]}, x=[0, 1, 2])
+        assert "*" in chart

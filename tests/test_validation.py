@@ -1,0 +1,54 @@
+"""Tests for the calibration battery."""
+
+import pytest
+
+from repro.validation import CalibrationCheck, run_calibration
+from repro.validation.checks import (
+    check_arbitration_shares,
+    check_cc_idle_overhead,
+    check_injection_cap,
+    check_link_serialization,
+    check_sink_cap,
+)
+
+
+class TestCalibrationCheck:
+    def test_pass_within_tolerance(self):
+        assert CalibrationCheck("x", 10.0, 10.4, 0.05).passed
+
+    def test_fail_outside_tolerance(self):
+        assert not CalibrationCheck("x", 10.0, 11.0, 0.05).passed
+
+    def test_zero_expected_uses_absolute(self):
+        assert CalibrationCheck("x", 0.0, 0.005, 0.01).passed
+        assert not CalibrationCheck("x", 0.0, 0.05, 0.01).passed
+
+    def test_format(self):
+        line = CalibrationCheck("serialization", 1.0, 1.0, 0.01).format()
+        assert "ok" in line and "serialization" in line
+        assert "FAIL" in CalibrationCheck("x", 1.0, 9.0, 0.01).format()
+
+
+class TestIndividualChecks:
+    def test_link_serialization(self):
+        assert check_link_serialization().passed
+
+    def test_injection_cap(self):
+        assert check_injection_cap().passed
+
+    def test_sink_cap(self):
+        assert check_sink_cap().passed
+
+    def test_arbitration_shares(self):
+        assert check_arbitration_shares().passed
+
+    def test_cc_idle_overhead(self):
+        assert check_cc_idle_overhead().passed
+
+
+@pytest.mark.slow
+class TestFullBattery:
+    def test_everything_passes(self):
+        report = run_calibration()
+        assert report.all_passed, "\n" + report.format()
+        assert "7/7" in report.format()
