@@ -1,0 +1,66 @@
+"""Parallel-executor benchmark: Table II wall-clock at jobs=1 vs jobs=4.
+
+Runs the quick-scale Table II campaign serially and through the
+process pool, verifies the two produce identical rows (the executor's
+core determinism contract), and records the wall-clock datapoint in
+``BENCH_parallel.json`` at the repository root.
+
+The container CI runs on may be single-core, so a speedup is asserted
+only when enough cores are available; the datapoint (including the
+detected core count) is recorded either way.
+"""
+
+import json
+import os
+import time
+
+from repro.experiments import run_table2
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DATAPOINT_PATH = os.path.join(REPO_ROOT, "BENCH_parallel.json")
+
+
+def test_bench_parallel_table2(benchmark, scale, seed):
+    t0 = time.perf_counter()
+    serial = run_table2(scale, seed=seed, jobs=1)
+    jobs1_seconds = time.perf_counter() - t0
+
+    def pooled_run():
+        t = time.perf_counter()
+        result = run_table2(scale, seed=seed, jobs=4)
+        return result, time.perf_counter() - t
+
+    pooled, jobs4_seconds = benchmark.pedantic(
+        pooled_run, rounds=1, iterations=1
+    )
+
+    # The determinism contract: the pool reproduces the serial rows
+    # exactly, cell by cell.
+    assert pooled.rows() == serial.rows()
+    assert pooled.hotspots_cc.rates_gbps == serial.hotspots_cc.rates_gbps
+
+    cores = os.cpu_count() or 1
+    datapoint = {
+        "benchmark": "table2_parallel",
+        "scale": scale.name,
+        "seed": seed,
+        "cpu_count": cores,
+        "jobs1_seconds": round(jobs1_seconds, 3),
+        "jobs4_seconds": round(jobs4_seconds, 3),
+        "speedup": round(jobs1_seconds / jobs4_seconds, 3),
+    }
+    with open(DATAPOINT_PATH, "w") as fh:
+        json.dump(datapoint, fh, indent=2)
+        fh.write("\n")
+
+    print()
+    print(f"Table II ({scale.name}) wall-clock: "
+          f"jobs=1 {jobs1_seconds:.2f}s, jobs=4 {jobs4_seconds:.2f}s "
+          f"({datapoint['speedup']:.2f}x on {cores} cores)")
+
+    if cores >= 4:
+        # Four independent phases on >=4 cores should overlap well.
+        assert jobs4_seconds < 0.75 * jobs1_seconds
+    else:
+        # On starved hosts just require the pool not to be pathological.
+        assert jobs4_seconds < 3.0 * jobs1_seconds

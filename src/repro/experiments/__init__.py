@@ -13,6 +13,13 @@ All drivers accept a *scale profile* (``quick``/``default``/``paper``)
 that sets the fat-tree radix, hotspot count, simulated time and CCT
 slope. ``paper`` is the full 648-node Sun DCS topology; see DESIGN.md
 §3 for why the smaller profiles preserve the reported shapes.
+
+Campaign drivers (``sweep``, ``run_table2``, the windy/moving figures)
+also accept ``jobs=``/``cache=`` and execute their cells through
+:mod:`repro.parallel` — a fault-tolerant process-pool executor with
+read-through result caching, bounded retry, and a JSON run manifest.
+``jobs=1`` (the default) reproduces the historical serial behavior
+byte-for-byte.
 """
 
 from repro.experiments.config import ExperimentConfig, ScaleProfile, SCALES

@@ -6,12 +6,14 @@ Examples::
     ibcc-repro fig5 --scale default
     ibcc-repro fig9a --scale quick
     ibcc-repro fig10 --p 60
+    ibcc-repro fig5 --jobs 4 --cache-dir .ibcc-cache   # parallel + cached
     python -m repro table2 --scale paper        # full 648-node run
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.experiments.config import SCALES
@@ -60,16 +62,63 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render the figure panels as ASCII charts",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the experiment cells "
+            "(1 = serial, byte-identical to historical runs)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "cache completed cells as JSON under DIR; re-runs and resumed "
+            "campaigns skip cells already present"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable result caching even if --cache-dir is given",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write the JSON run manifest (per-cell status/retries/timing)",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.parallel import ProgressReporter
+
     args = build_parser().parse_args(argv)
     scale = SCALES[args.scale]
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else args.cache_dir
+    if cache is not None and os.path.exists(cache) and not os.path.isdir(cache):
+        print(f"--cache-dir {cache!r} exists and is not a directory", file=sys.stderr)
+        return 2
+    # Live progress goes to stderr so stdout stays a clean table/figure.
+    reporter = ProgressReporter(stream=sys.stderr) if args.jobs > 1 else None
+    campaign_kw = dict(
+        jobs=args.jobs,
+        cache=cache,
+        reporter=reporter,
+        manifest_path=args.manifest,
+    )
 
     if args.artifact == "table2":
-        print(run_table2(scale, seed=args.seed).format())
+        print(run_table2(scale, seed=args.seed, **campaign_kw).format())
     elif args.artifact in _WINDY_X:
         step = args.p_step / 100.0
         p_values = []
@@ -78,7 +127,8 @@ def main(argv=None) -> int:
             p_values.append(round(p, 6))
             p += step
         fig = run_windy_figure(
-            _WINDY_X[args.artifact], scale, p_values=p_values, seed=args.seed
+            _WINDY_X[args.artifact], scale, p_values=p_values, seed=args.seed,
+            **campaign_kw,
         )
         print(fig.format())
         peak = fig.peak_improvement()
@@ -102,13 +152,16 @@ def main(argv=None) -> int:
     elif args.artifact in ("fig9a", "fig9b", "fig10"):
         if args.artifact == "fig9a":
             fig = run_moving_figure(scale, c_fraction_of_rest=0.8,
-                                    label="20% V / 80% C", seed=args.seed)
+                                    label="20% V / 80% C", seed=args.seed,
+                                    **campaign_kw)
         elif args.artifact == "fig9b":
             fig = run_moving_figure(scale, c_fraction_of_rest=0.4,
-                                    label="60% V / 40% C", seed=args.seed)
+                                    label="60% V / 40% C", seed=args.seed,
+                                    **campaign_kw)
         else:
             fig = run_moving_figure(scale, b_fraction=1.0, p=args.p / 100.0,
-                                    label=f"100% B, p={args.p:.0f}", seed=args.seed)
+                                    label=f"100% B, p={args.p:.0f}", seed=args.seed,
+                                    **campaign_kw)
         print(fig.format())
         if args.chart:
             from repro.metrics import line_chart

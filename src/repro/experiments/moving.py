@@ -95,26 +95,57 @@ def run_moving_figure(
     lifetimes_ns: Sequence[float] | None = None,
     label: str = "",
     seed: int = 7,
+    jobs: int = 1,
+    cache=None,
+    retry=None,
+    timeout_s: float | None = None,
+    reporter=None,
+    manifest_path: str | None = None,
 ) -> MovingFigure:
     """A lifetime sweep.
 
     * figure 9(a): ``c_fraction_of_rest=0.8`` (80 % C / 20 % V);
     * figure 9(b): ``c_fraction_of_rest=0.4`` (40 % C / 60 % V);
     * figure 10(a-c): ``b_fraction=1.0`` and ``p`` in {0.3, 0.6, 0.9}.
+
+    Cells fan out through :func:`repro.parallel.run_campaign`:
+    ``jobs=1`` preserves the historical serial order (off then on per
+    lifetime); ``cache``/``retry``/``timeout_s``/``reporter``/
+    ``manifest_path`` forward to the executor, and any cell that fails
+    after its retries raises
+    :class:`~repro.parallel.pool.CampaignError`.
     """
+    from repro.parallel import run_campaign
+
     if isinstance(scale, str):
         scale = SCALES[scale]
     if lifetimes_ns is None:
         lifetimes_ns = scale.moving_lifetimes_ns
-    points = [
-        run_moving_point(
-            lt,
-            scale,
+    configs = []
+    for lt in lifetimes_ns:
+        cfg = ExperimentConfig(
+            scale=scale,
             b_fraction=b_fraction,
             p=p,
             c_fraction_of_rest=c_fraction_of_rest,
+            hotspot_lifetime_ns=lt,
             seed=seed,
+            name=f"moving-life{lt / 1e6:.0f}ms",
         )
-        for lt in lifetimes_ns
+        configs.append(cfg.with_(cc=False))
+        configs.append(cfg.with_(cc=True))
+    campaign = run_campaign(
+        configs,
+        jobs=jobs,
+        cache=cache,
+        retry=retry,
+        timeout_s=timeout_s,
+        progress=reporter,
+        manifest_path=manifest_path,
+    ).raise_on_failure()
+    results = campaign.results
+    points = [
+        MovingPoint(lifetime_ns=lt, off=results[2 * i], on=results[2 * i + 1])
+        for i, lt in enumerate(lifetimes_ns)
     ]
     return MovingFigure(label=label or f"b={b_fraction:.0%}, p={p:.0%}", points=points)

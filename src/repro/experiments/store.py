@@ -106,6 +106,10 @@ class ResultStore:
         with open(path) as fh:
             return result_from_dict(json.load(fh))
 
+    def __contains__(self, cfg: ExperimentConfig) -> bool:
+        """Whether a result for ``cfg`` is already stored."""
+        return os.path.exists(self._path(cfg))
+
     def get_or_run(self, cfg: ExperimentConfig) -> ExperimentResult:
         """Load a cached result or simulate and cache it."""
         cached = self.load(cfg)

@@ -13,12 +13,13 @@ from __future__ import annotations
 import csv
 import io
 import itertools
+import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.parameters import CCParams
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runner import ExperimentResult
 
 
 @dataclass
@@ -43,22 +44,69 @@ class SweepCell:
         return out
 
 
+#: Result metrics every cell row carries, in :meth:`SweepCell.row` order.
+METRIC_FIELDS = (
+    "non_hotspot",
+    "hotspot",
+    "all_nodes",
+    "total",
+    "fecn_marks",
+    "becns",
+    "fairness",
+)
+
+
+def _is_nan(value: Any) -> bool:
+    return isinstance(value, float) and math.isnan(value)
+
+
 @dataclass
 class SweepResult:
     cells: List[SweepCell] = field(default_factory=list)
+    #: Grid axis names, kept even when every cell failed/was filtered so
+    #: an empty sweep can still derive its CSV header.
+    param_names: Optional[List[str]] = None
 
     def best_by(self, metric: str, *, maximize: bool = True) -> SweepCell:
-        """The cell with the best value of a result metric."""
-        key = lambda c: c.row()[metric]
-        return max(self.cells, key=key) if maximize else min(self.cells, key=key)
+        """The cell with the best non-NaN value of a result metric.
+
+        NaN cells (e.g. ``fairness`` of an all-hotspot mix) are ignored:
+        ``max()`` over a NaN key is order-dependent and could crown a
+        meaningless cell. If *every* cell is NaN the metric is unusable
+        and a :class:`ValueError` explains that.
+        """
+        if not self.cells:
+            raise ValueError("empty sweep: no cells to pick a best from")
+        scored = [(c.row()[metric], c) for c in self.cells]
+        valid = [(v, c) for v, c in scored if not _is_nan(v)]
+        if not valid:
+            raise ValueError(
+                f"metric {metric!r} is NaN in all {len(scored)} sweep cells"
+            )
+        pick = max if maximize else min
+        return pick(valid, key=lambda vc: vc[0])[1]
 
     def to_csv(self) -> str:
-        """The sweep as CSV text (one row per cell)."""
-        if not self.cells:
-            raise ValueError("empty sweep")
-        rows = [c.row() for c in self.cells]
+        """The sweep as CSV text (one row per cell).
+
+        An empty sweep still yields a header-only CSV when the grid's
+        parameter names are known (they are, for every sweep built by
+        :func:`sweep`); otherwise the header is underivable and a
+        :class:`ValueError` says so.
+        """
+        if self.cells:
+            rows = [c.row() for c in self.cells]
+            fieldnames = list(rows[0])
+        elif self.param_names is not None:
+            rows = []
+            fieldnames = list(self.param_names) + list(METRIC_FIELDS)
+        else:
+            raise ValueError(
+                "empty sweep: no cells were run and the grid's parameter "
+                "names are unknown, so not even a CSV header can be derived"
+            )
         out = io.StringIO()
-        writer = csv.DictWriter(out, fieldnames=list(rows[0]))
+        writer = csv.DictWriter(out, fieldnames=fieldnames)
         writer.writeheader()
         writer.writerows(rows)
         return out.getvalue()
@@ -90,14 +138,35 @@ def sweep(
     grid: Mapping[str, Iterable[Any]],
     *,
     progress=None,
+    jobs: int = 1,
+    cache=None,
+    retry=None,
+    timeout_s: Optional[float] = None,
+    reporter=None,
+    manifest_path: Optional[str] = None,
+    strict: bool = True,
 ) -> SweepResult:
     """Run the cartesian product of ``grid`` over ``base``.
 
     Grid keys may name either :class:`CCParams` fields (applied to the
     config's resolved CC parameters) or :class:`ExperimentConfig`
     fields. ``progress`` is an optional callable receiving
-    ``(index, total, assignment)`` before each run.
+    ``(index, total, assignment)`` before each run (legacy serial-style
+    callback; fired in submission order at any ``jobs`` value).
+
+    The grid executes through :func:`repro.parallel.run_campaign`:
+    ``jobs`` sets the worker-pool width (1 = in-process, byte-identical
+    to the historical serial sweep), ``cache`` is a result-store
+    directory/instance for read-through cell caching, ``retry``/
+    ``timeout_s`` bound worker failures, ``reporter`` receives live
+    :class:`~repro.parallel.progress.ProgressReporter` telemetry, and
+    ``manifest_path`` writes the JSON run manifest. With
+    ``strict=True`` (default) a cell that still fails after its retries
+    raises :class:`~repro.parallel.pool.CampaignError`; with
+    ``strict=False`` failed cells are dropped from the result instead.
     """
+    from repro.parallel import CampaignError, run_campaign
+
     for key in grid:
         if key not in _CC_FIELDS and key not in _CFG_FIELDS:
             raise ValueError(f"unknown sweep parameter: {key!r}")
@@ -106,7 +175,8 @@ def sweep(
     if any(not v for v in values):
         raise ValueError("every grid axis needs at least one value")
     combos = list(itertools.product(*values))
-    result = SweepResult()
+    assignments = []
+    configs = []
     for i, combo in enumerate(combos):
         assignment = dict(zip(names, combo))
         cc_kw = {k: v for k, v in assignment.items() if k in _CC_FIELDS}
@@ -118,5 +188,21 @@ def sweep(
             cfg = cfg.with_(**cfg_kw)
         if progress is not None:
             progress(i, len(combos), assignment)
-        result.cells.append(SweepCell(assignment, run_experiment(cfg)))
+        assignments.append(assignment)
+        configs.append(cfg)
+    campaign = run_campaign(
+        configs,
+        jobs=jobs,
+        cache=cache,
+        retry=retry,
+        timeout_s=timeout_s,
+        progress=reporter,
+        manifest_path=manifest_path,
+    )
+    if strict and campaign.failed:
+        raise CampaignError(campaign.failed)
+    result = SweepResult(param_names=names)
+    for assignment, outcome in zip(assignments, campaign.outcomes):
+        if outcome.ok:
+            result.cells.append(SweepCell(assignment, outcome.result))
     return result

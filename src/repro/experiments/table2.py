@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.experiments.config import SCALES, ExperimentConfig, ScaleProfile
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runner import ExperimentResult
 
 
 @dataclass
@@ -63,18 +63,54 @@ class Table2Result:
         return "\n".join(lines)
 
 
-def run_table2(scale: ScaleProfile | str = "default", *, seed: int = 7) -> Table2Result:
-    """Run the four phases of Table II at the given scale."""
+def run_table2(
+    scale: ScaleProfile | str = "default",
+    *,
+    seed: int = 7,
+    jobs: int = 1,
+    cache=None,
+    retry=None,
+    timeout_s: float | None = None,
+    reporter=None,
+    manifest_path: str | None = None,
+) -> Table2Result:
+    """Run the four phases of Table II at the given scale.
+
+    The phases are independent cells, so they fan out through
+    :func:`repro.parallel.run_campaign`: ``jobs`` sets the pool width
+    (1 = in-process serial, byte-identical to the historical driver),
+    ``cache`` enables read-through result caching, and ``retry``/
+    ``timeout_s``/``reporter``/``manifest_path`` forward to the
+    executor. A phase that fails after its retries raises
+    :class:`~repro.parallel.pool.CampaignError` — Table II needs all
+    four rows.
+    """
+    from repro.parallel import run_campaign
+
     if isinstance(scale, str):
         scale = SCALES[scale]
     base = ExperimentConfig(
         scale=scale, b_fraction=0.0, c_fraction_of_rest=0.8, seed=seed, name="table2"
     )
+    configs = [
+        base.with_(cc=False, contributors_active=False),
+        base.with_(cc=True, contributors_active=False),
+        base.with_(cc=False),
+        base.with_(cc=True),
+    ]
+    campaign = run_campaign(
+        configs,
+        jobs=jobs,
+        cache=cache,
+        retry=retry,
+        timeout_s=timeout_s,
+        progress=reporter,
+        manifest_path=manifest_path,
+    ).raise_on_failure()
+    baseline_no_cc, baseline_cc, hotspots_no_cc, hotspots_cc = campaign.results
     return Table2Result(
-        baseline_no_cc=run_experiment(
-            base.with_(cc=False, contributors_active=False)
-        ),
-        baseline_cc=run_experiment(base.with_(cc=True, contributors_active=False)),
-        hotspots_no_cc=run_experiment(base.with_(cc=False)),
-        hotspots_cc=run_experiment(base.with_(cc=True)),
+        baseline_no_cc=baseline_no_cc,
+        baseline_cc=baseline_cc,
+        hotspots_no_cc=hotspots_no_cc,
+        hotspots_cc=hotspots_cc,
     )

@@ -105,9 +105,50 @@ def run_windy_figure(
     *,
     p_values: Sequence[float] = DEFAULT_P_VALUES,
     seed: int = 7,
+    jobs: int = 1,
+    cache=None,
+    retry=None,
+    timeout_s: float | None = None,
+    reporter=None,
+    manifest_path: str | None = None,
 ) -> WindyFigure:
-    """A whole figure's sweep: figures 5 (x=.25) through 8 (x=1.0)."""
+    """A whole figure's sweep: figures 5 (x=.25) through 8 (x=1.0).
+
+    The 2·len(p_values) cells (CC off and on per p) fan out through
+    :func:`repro.parallel.run_campaign`; ``jobs=1`` preserves the
+    historical serial order (off then on for each p). A cell that fails
+    after its retries raises
+    :class:`~repro.parallel.pool.CampaignError` — every point feeds the
+    figure's panels.
+    """
+    from repro.parallel import run_campaign
+
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+    configs = []
+    for p in p_values:
+        cfg = ExperimentConfig(
+            scale=scale,
+            b_fraction=b_fraction,
+            p=p,
+            c_fraction_of_rest=0.8,
+            seed=seed,
+            name=f"windy-x{b_fraction:.2f}-p{p:.2f}",
+        )
+        configs.append(cfg.with_(cc=False))
+        configs.append(cfg.with_(cc=True))
+    campaign = run_campaign(
+        configs,
+        jobs=jobs,
+        cache=cache,
+        retry=retry,
+        timeout_s=timeout_s,
+        progress=reporter,
+        manifest_path=manifest_path,
+    ).raise_on_failure()
+    results = campaign.results
     points = [
-        run_windy_point(b_fraction, p, scale, seed=seed) for p in p_values
+        WindyPoint(p=p, off=results[2 * i], on=results[2 * i + 1])
+        for i, p in enumerate(p_values)
     ]
     return WindyFigure(b_fraction=b_fraction, points=points)

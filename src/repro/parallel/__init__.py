@@ -1,0 +1,54 @@
+"""repro.parallel — fault-tolerant parallel experiment execution.
+
+Paper artifacts (Table II, figures 5–10) and CC parameter-tuning
+campaigns are grids of *independent* simulation cells; this package
+fans such grids out over a process pool with deterministic seeding,
+per-cell timeout + bounded retry, read-through/write-through result
+caching, and progress/manifest telemetry:
+
+* :mod:`repro.parallel.pool` — :func:`run_campaign` / :func:`run_cells`,
+  the executor itself;
+* :mod:`repro.parallel.retry` — :class:`RetryPolicy`;
+* :mod:`repro.parallel.cache` — :class:`CellCache` over the JSON
+  :class:`~repro.experiments.store.ResultStore`;
+* :mod:`repro.parallel.progress` — :class:`ProgressReporter` (live
+  text + telemetry counters);
+* :mod:`repro.parallel.manifest` — :class:`RunManifest` (the JSON run
+  record).
+
+Every experiment driver (``sweep``, ``run_table2``, the windy/moving
+figures, and the ``ibcc-repro`` CLI) accepts ``jobs=``/``cache=`` and
+routes through this executor; ``jobs=1`` reproduces the historical
+serial behavior byte-for-byte.
+"""
+
+from repro.parallel.cache import CellCache, NullCache, as_cache
+from repro.parallel.manifest import CellRecord, RunManifest
+from repro.parallel.pool import (
+    CampaignError,
+    CampaignResult,
+    CellOutcome,
+    derive_seed,
+    run_campaign,
+    run_cells,
+)
+from repro.parallel.progress import ProgressReporter
+from repro.parallel.retry import DEFAULT_CAMPAIGN_POLICY, NO_RETRY, RetryPolicy
+
+__all__ = [
+    "CampaignError",
+    "CampaignResult",
+    "CellOutcome",
+    "CellCache",
+    "CellRecord",
+    "DEFAULT_CAMPAIGN_POLICY",
+    "NO_RETRY",
+    "NullCache",
+    "ProgressReporter",
+    "RetryPolicy",
+    "RunManifest",
+    "as_cache",
+    "derive_seed",
+    "run_campaign",
+    "run_cells",
+]

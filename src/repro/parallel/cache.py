@@ -1,0 +1,79 @@
+"""Read-through / write-through result caching for campaigns.
+
+Experiment cells are pure functions of their :class:`ExperimentConfig`
+(the RNG registry is seeded from ``config.seed``), so a completed cell
+never needs to be simulated again. :class:`CellCache` wraps the JSON
+:class:`~repro.experiments.store.ResultStore` — keyed by
+:func:`~repro.experiments.store.config_key` — behind the two-method
+interface the executor uses, and counts hits/misses/stores for the run
+manifest. :class:`NullCache` is the disabled drop-in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.store import ResultStore
+
+
+class NullCache:
+    """Cache interface that never hits: every cell is simulated."""
+
+    hits = 0
+    misses = 0
+    stores = 0
+
+    def load(self, cfg) -> None:
+        return None
+
+    def save(self, result) -> None:
+        return None
+
+
+class CellCache:
+    """Read-through/write-through cache over a :class:`ResultStore`.
+
+    ``load`` returns the stored :class:`ExperimentResult` for a config
+    (or None), ``save`` persists a fresh one. Non-``ExperimentResult``
+    values (from custom ``run_fn`` callables) pass through uncached so
+    the executor can run arbitrary work without corrupting the store.
+    """
+
+    def __init__(self, store: Union[ResultStore, str]) -> None:
+        self.store = ResultStore(store) if isinstance(store, str) else store
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def load(self, cfg) -> Optional[ExperimentResult]:
+        try:
+            cached = self.store.load(cfg)
+        except Exception:
+            # A corrupt/truncated entry (e.g. a campaign killed mid-write)
+            # must not kill the next campaign: treat it as a miss and let
+            # the fresh result overwrite it.
+            cached = None
+        if cached is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return cached
+
+    def save(self, result) -> None:
+        if isinstance(result, ExperimentResult):
+            self.store.save(result)
+            self.stores += 1
+
+
+def as_cache(cache: Union[CellCache, ResultStore, str, None]) -> Union[CellCache, NullCache]:
+    """Coerce the user-facing ``cache=`` argument to a cache object.
+
+    Accepts an existing :class:`CellCache`, a :class:`ResultStore`, a
+    directory path, or None (caching disabled).
+    """
+    if cache is None:
+        return NullCache()
+    if isinstance(cache, (CellCache, NullCache)):
+        return cache
+    return CellCache(cache)

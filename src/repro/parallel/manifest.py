@@ -1,0 +1,102 @@
+"""JSON run manifest: the durable record of one campaign execution.
+
+Where :mod:`repro.parallel.progress` is the live view, the manifest is
+what survives the run: one record per cell (config key, terminal
+status, attempts, wall time, error text for failures) plus campaign
+totals. A resumed campaign can diff its grid against a manifest, and a
+failed cell surfaces here as data instead of crashing the whole run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CellRecord:
+    """Terminal state of one cell, as written to the manifest."""
+
+    index: int
+    key: str
+    name: str
+    status: str  # "ok" | "cached" | "failed"
+    attempts: int
+    wall_seconds: float
+    error: Optional[str] = None
+
+
+@dataclass
+class RunManifest:
+    """Campaign totals plus the per-cell records."""
+
+    jobs: int = 1
+    total_cells: int = 0
+    ok: int = 0
+    cache_hits: int = 0
+    failures: int = 0
+    retries: int = 0
+    worker_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+    cells: List[CellRecord] = field(default_factory=list)
+
+    @classmethod
+    def from_outcomes(
+        cls,
+        outcomes,
+        *,
+        jobs: int = 1,
+        retries: int = 0,
+        elapsed_seconds: float = 0.0,
+    ) -> "RunManifest":
+        """Build the manifest from a campaign's cell outcomes."""
+        manifest = cls(jobs=jobs, retries=retries, elapsed_seconds=elapsed_seconds)
+        for out in outcomes:
+            manifest.add(out)
+        return manifest
+
+    def add(self, outcome) -> None:
+        """Fold one :class:`~repro.parallel.pool.CellOutcome` in."""
+        self.total_cells += 1
+        if outcome.status == "cached":
+            self.cache_hits += 1
+        elif outcome.status == "failed":
+            self.failures += 1
+        else:
+            self.ok += 1
+        self.worker_seconds += outcome.wall_seconds
+        self.cells.append(
+            CellRecord(
+                index=outcome.index,
+                key=outcome.key,
+                name=getattr(outcome.config, "name", "") or "",
+                status=outcome.status,
+                attempts=outcome.attempts,
+                wall_seconds=outcome.wall_seconds,
+                error=outcome.error,
+            )
+        )
+
+    def failed_cells(self) -> List[CellRecord]:
+        return [c for c in self.cells if c.status == "failed"]
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str) -> str:
+        """Write the manifest JSON file; returns its path."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "RunManifest":
+        with open(path) as fh:
+            data = json.load(fh)
+        cells = [CellRecord(**c) for c in data.pop("cells", [])]
+        return cls(cells=cells, **data)

@@ -1,0 +1,354 @@
+"""Fault-tolerant fan-out of experiment cells over a process pool.
+
+A campaign is a list of :class:`ExperimentConfig` cells, each a pure
+function of its config (the RNG registry is seeded from ``config.seed``
+— see :mod:`repro.engine.rng`), so cells can run in any order on any
+worker and still produce exactly the serial results. This module turns
+such a list into a job run:
+
+* ``jobs=1`` executes in-process, in submission order — byte-identical
+  to the historical serial drivers;
+* ``jobs>1`` fans out over a :class:`ProcessPoolExecutor` with per-job
+  timeouts, bounded retry with backoff (:mod:`repro.parallel.retry`),
+  and pool recycling when a worker dies hard;
+* a cache (:mod:`repro.parallel.cache`) is consulted read-through
+  before any cell is simulated and populated write-through as results
+  arrive, so resumed campaigns skip completed cells;
+* every cell ends in a terminal :class:`CellOutcome` — a crashed or
+  hung cell becomes a ``failed`` record in the run manifest
+  (:mod:`repro.parallel.manifest`) instead of killing the campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.store import config_key
+from repro.parallel.cache import as_cache
+from repro.parallel.manifest import RunManifest
+from repro.parallel.progress import ProgressReporter
+from repro.parallel.retry import NO_RETRY, RetryPolicy
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """A deterministic, well-mixed per-cell seed.
+
+    Hash-derived so that campaign replicas get independent streams while
+    remaining reproducible for any (base_seed, cell index) pair at any
+    ``jobs`` value.
+    """
+    blob = f"{base_seed}:{index}".encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
+
+@dataclass
+class CellOutcome:
+    """Terminal state of one campaign cell."""
+
+    index: int
+    config: Any
+    key: str
+    status: str  # "ok" | "cached" | "failed"
+    attempts: int
+    wall_seconds: float
+    result: Any = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+
+@dataclass
+class CampaignResult:
+    """Everything one :func:`run_campaign` call produced."""
+
+    outcomes: List[CellOutcome]
+    manifest: RunManifest
+
+    @property
+    def results(self) -> List[Any]:
+        """Per-cell results in submission order (None for failed cells)."""
+        return [o.result for o in self.outcomes]
+
+    @property
+    def failed(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def raise_on_failure(self) -> "CampaignResult":
+        """Raise :class:`CampaignError` if any cell ended failed."""
+        if self.failed:
+            raise CampaignError(self.failed)
+        return self
+
+
+class CampaignError(RuntimeError):
+    """One or more cells failed after exhausting their retries."""
+
+    def __init__(self, failed: List[CellOutcome]) -> None:
+        self.failed = failed
+        detail = "; ".join(
+            f"cell {o.index} ({o.key}): {o.error}" for o in failed[:5]
+        )
+        more = f" (+{len(failed) - 5} more)" if len(failed) > 5 else ""
+        super().__init__(f"{len(failed)} campaign cell(s) failed: {detail}{more}")
+
+
+@dataclass
+class _CellJob:
+    """Executor-internal mutable state of one in-flight cell."""
+
+    index: int
+    config: Any
+    key: str
+    attempts: int = 0
+    started: float = 0.0
+    not_before: float = 0.0
+
+
+def _timed_call(fn: Callable[[Any], Any], cfg: Any):
+    """Worker entry point: run one cell and measure its wall time."""
+    started = time.perf_counter()
+    result = fn(cfg)
+    return result, time.perf_counter() - started
+
+
+def run_campaign(
+    configs: Sequence[Any],
+    *,
+    jobs: int = 1,
+    cache=None,
+    retry: Optional[RetryPolicy] = None,
+    timeout_s: Optional[float] = None,
+    progress: Optional[ProgressReporter] = None,
+    run_fn: Optional[Callable[[Any], Any]] = None,
+    reseed_from: Optional[int] = None,
+    manifest_path: Optional[str] = None,
+) -> CampaignResult:
+    """Run every cell of a campaign; never raises for cell failures.
+
+    ``configs`` are usually :class:`ExperimentConfig` instances and
+    ``run_fn`` defaults to :func:`run_experiment`; any picklable
+    config/callable pair works. ``cache`` is a directory path, a
+    :class:`~repro.experiments.store.ResultStore`, or a
+    :class:`~repro.parallel.cache.CellCache` (None disables caching).
+    ``reseed_from`` rewrites each cell's seed with
+    :func:`derive_seed(reseed_from, index) <derive_seed>` — the same
+    seeds at any ``jobs`` value. ``timeout_s`` bounds one attempt and is
+    enforced only for ``jobs > 1`` (a serial run cannot preempt itself).
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    retry = retry if retry is not None else NO_RETRY
+    cache = as_cache(cache)
+    fn = run_fn if run_fn is not None else run_experiment
+    reporter = progress if progress is not None else ProgressReporter()
+
+    cells: List[Any] = list(configs)
+    if reseed_from is not None:
+        cells = [cfg.with_(seed=derive_seed(reseed_from, i)) for i, cfg in enumerate(cells)]
+
+    outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+    pending: List[_CellJob] = []
+    reporter.start(len(cells), jobs)
+
+    # Read-through: completed cells are served from the cache.
+    for i, cfg in enumerate(cells):
+        key = config_key(cfg) if isinstance(cfg, ExperimentConfig) else _fallback_key(cfg)
+        cached = cache.load(cfg) if isinstance(cfg, ExperimentConfig) else None
+        if cached is not None:
+            outcomes[i] = CellOutcome(
+                index=i, config=cfg, key=key, status="cached",
+                attempts=0, wall_seconds=0.0, result=cached,
+            )
+            reporter.on_outcome(outcomes[i])
+        else:
+            pending.append(_CellJob(index=i, config=cfg, key=key))
+
+    retries_total = 0
+
+    def record_ok(job: _CellJob, result: Any, wall: float) -> None:
+        outcomes[job.index] = CellOutcome(
+            index=job.index, config=job.config, key=job.key, status="ok",
+            attempts=job.attempts + 1, wall_seconds=wall, result=result,
+        )
+        cache.save(result)  # write-through
+        reporter.on_outcome(outcomes[job.index])
+
+    def record_failed(job: _CellJob, error: str, wall: float) -> None:
+        outcomes[job.index] = CellOutcome(
+            index=job.index, config=job.config, key=job.key, status="failed",
+            attempts=job.attempts, wall_seconds=wall, error=error,
+        )
+        reporter.on_outcome(outcomes[job.index])
+
+    if pending:
+        if jobs == 1:
+            retries_total = _run_serial(pending, fn, retry, reporter, record_ok, record_failed)
+        else:
+            retries_total = _run_pool(
+                pending, fn, retry, jobs, timeout_s, reporter, record_ok, record_failed
+            )
+
+    reporter.finish()
+    manifest = RunManifest.from_outcomes(
+        outcomes, jobs=jobs, retries=retries_total,
+        elapsed_seconds=reporter.elapsed_seconds(),
+    )
+    if manifest_path is not None:
+        manifest.save(manifest_path)
+    return CampaignResult(outcomes=outcomes, manifest=manifest)
+
+
+def run_cells(configs: Sequence[Any], **kwargs) -> List[CellOutcome]:
+    """:func:`run_campaign`, returning just the per-cell outcomes."""
+    return run_campaign(configs, **kwargs).outcomes
+
+
+def _fallback_key(cfg: Any) -> str:
+    """Content key for non-ExperimentConfig payloads (uncached)."""
+    return hashlib.sha256(repr(cfg).encode()).hexdigest()[:16]
+
+
+def _run_serial(pending, fn, retry, reporter, record_ok, record_failed) -> int:
+    """The ``jobs=1`` path: in-process, submission order, byte-identical."""
+    retries_total = 0
+    for job in pending:
+        while True:
+            started = time.perf_counter()
+            try:
+                result = fn(job.config)
+            except Exception as exc:
+                wall = time.perf_counter() - started
+                job.attempts += 1
+                error = f"{type(exc).__name__}: {exc}"
+                if retry.should_retry(job.attempts):
+                    retries_total += 1
+                    reporter.on_retry(job.index, job.attempts, error)
+                    delay = retry.delay_s(job.attempts)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                record_failed(job, error, wall)
+            else:
+                record_ok(job, result, time.perf_counter() - started)
+            break
+    return retries_total
+
+
+def _run_pool(pending, fn, retry, jobs, timeout_s, reporter, record_ok, record_failed) -> int:
+    """The ``jobs>1`` path: process pool + timeouts + retry + recycling."""
+    retries_total = 0
+    queue = deque(pending)
+    running: Dict[Future, _CellJob] = {}
+    # Futures whose deadline passed while already executing: the worker
+    # cannot be preempted, so the future is abandoned and its slot
+    # counted busy until the worker actually finishes.
+    abandoned: List[Future] = []
+    executor = ProcessPoolExecutor(max_workers=jobs)
+
+    def attempt_failed(job: _CellJob, error: str, wall: float) -> None:
+        nonlocal retries_total
+        job.attempts += 1
+        if retry.should_retry(job.attempts):
+            retries_total += 1
+            reporter.on_retry(job.index, job.attempts, error)
+            job.not_before = time.monotonic() + retry.delay_s(job.attempts)
+            queue.append(job)
+        else:
+            record_failed(job, error, wall)
+
+    def recycle_executor() -> None:
+        """Replace a broken pool; every in-flight job failed with it."""
+        nonlocal executor
+        executor.shutdown(wait=False, cancel_futures=True)
+        abandoned.clear()
+        executor = ProcessPoolExecutor(max_workers=jobs)
+
+    try:
+        while queue or running:
+            now = time.monotonic()
+            abandoned[:] = [f for f in abandoned if not f.done()]
+            capacity = jobs - len(running) - len(abandoned)
+
+            for _ in range(len(queue)):
+                if capacity <= 0:
+                    break
+                job = queue.popleft()
+                if job.not_before > now:
+                    queue.append(job)  # still backing off
+                    continue
+                future = executor.submit(_timed_call, fn, job.config)
+                job.started = now
+                running[future] = job
+                capacity -= 1
+
+            if not running:
+                # Everything left is backing off; sleep to the nearest.
+                wake = min(job.not_before for job in queue)
+                time.sleep(max(0.01, min(wake - now, 0.2)))
+                continue
+
+            wait_timeout = None if (not queue and timeout_s is None) else 0.05
+            if timeout_s is not None:
+                next_deadline = min(j.started + timeout_s for j in running.values())
+                wait_timeout = max(0.01, min(next_deadline - now, 0.2))
+            done, _ = wait(set(running), timeout=wait_timeout, return_when=FIRST_COMPLETED)
+
+            now = time.monotonic()
+            broken = False
+            for future in done:
+                job = running.pop(future)
+                wall = now - job.started
+                try:
+                    result, worker_wall = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    attempt_failed(job, "BrokenProcessPool: worker died abruptly", wall)
+                except Exception as exc:
+                    attempt_failed(job, f"{type(exc).__name__}: {exc}", wall)
+                else:
+                    record_ok(job, result, worker_wall)
+
+            if broken:
+                # The pool is unusable: every other in-flight future is
+                # doomed too. Fail their attempts and start fresh.
+                for future, job in list(running.items()):
+                    attempt_failed(job, "BrokenProcessPool: worker died abruptly",
+                                   now - job.started)
+                running.clear()
+                recycle_executor()
+                continue
+
+            if timeout_s is not None:
+                for future, job in list(running.items()):
+                    if now - job.started > timeout_s:
+                        del running[future]
+                        if not future.cancel():
+                            abandoned.append(future)
+                        attempt_failed(
+                            job,
+                            f"TimeoutError: cell exceeded {timeout_s}s",
+                            now - job.started,
+                        )
+    finally:
+        if any(not f.done() for f in abandoned):
+            # Hung workers: don't block shutdown on them.
+            procs = list((getattr(executor, "_processes", None) or {}).values())
+            executor.shutdown(wait=False, cancel_futures=True)
+            for proc in procs:
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
+        else:
+            executor.shutdown()
+    return retries_total

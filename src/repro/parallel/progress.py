@@ -1,0 +1,112 @@
+"""Live progress and telemetry for a campaign run.
+
+The reporter accumulates per-cell telemetry (done counts, cache hits,
+retries, failures, simulated worker wall-time) as the executor feeds it
+events, estimates time-to-completion from the observed per-cell cost
+and the pool width, and renders a one-line status suitable for a
+terminal. It is deliberately stream-agnostic: pass ``stream=sys.stderr``
+for live text, leave it None to collect telemetry silently (the JSON
+run manifest is built from the same counters).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, TextIO
+
+
+class ProgressReporter:
+    """Counts campaign events and renders/streams a status line."""
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.stream = stream
+        self._clock = clock
+        self.total = 0
+        self.jobs = 1
+        self.done = 0
+        self.ok = 0
+        self.cached = 0
+        self.failed = 0
+        self.retries = 0
+        self.worker_seconds = 0.0
+        self._started: Optional[float] = None
+        self._finished: Optional[float] = None
+
+    # -- events fed by the executor ------------------------------------
+
+    def start(self, total: int, jobs: int = 1) -> None:
+        """Begin a campaign of ``total`` cells on a pool of ``jobs``."""
+        self.total = total
+        self.jobs = max(1, jobs)
+        self._started = self._clock()
+
+    def on_retry(self, index: int, attempt: int, error: str) -> None:
+        """A cell attempt failed and will be retried."""
+        self.retries += 1
+        self._emit(f"cell {index} attempt {attempt} failed ({error}); retrying")
+
+    def on_outcome(self, outcome) -> None:
+        """A cell reached a terminal state (ok / cached / failed)."""
+        self.done += 1
+        status = outcome.status
+        if status == "cached":
+            self.cached += 1
+        elif status == "failed":
+            self.failed += 1
+        else:
+            self.ok += 1
+        self.worker_seconds += outcome.wall_seconds
+        self._emit(self.render())
+
+    def finish(self) -> None:
+        self._finished = self._clock()
+        self._emit(self.render())
+
+    # -- derived telemetry ---------------------------------------------
+
+    def elapsed_seconds(self) -> float:
+        """Wall time since :meth:`start` (frozen once finished)."""
+        if self._started is None:
+            return 0.0
+        end = self._finished if self._finished is not None else self._clock()
+        return end - self._started
+
+    def eta_seconds(self) -> Optional[float]:
+        """Estimated seconds to completion, from observed cell cost.
+
+        Cached cells are ~free, so the estimate uses the average wall
+        time of *simulated* cells divided by the pool width. None until
+        at least one cell has been simulated.
+        """
+        simulated = self.ok + self.failed
+        remaining = self.total - self.done
+        if simulated == 0 or remaining <= 0:
+            return 0.0 if remaining <= 0 else None
+        per_cell = self.worker_seconds / simulated
+        return per_cell * remaining / self.jobs
+
+    def render(self) -> str:
+        """One status line: counts, hit/retry telemetry, and the ETA."""
+        parts = [f"cells {self.done}/{self.total}"]
+        if self.cached:
+            parts.append(f"{self.cached} cached")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        parts.append(f"worker {self.worker_seconds:.1f}s")
+        eta = self.eta_seconds()
+        if self.done >= self.total:
+            parts.append(f"done in {self.elapsed_seconds():.1f}s")
+        elif eta is not None:
+            parts.append(f"ETA {eta:.0f}s")
+        return " · ".join(parts)
+
+    def _emit(self, line: str) -> None:
+        if self.stream is not None:
+            print(line, file=self.stream, flush=True)

@@ -26,6 +26,28 @@ class TestParser:
         assert args.scale == "default"
         assert args.p == 60
         assert args.seed == 7
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.no_cache is False
+        assert args.manifest is None
+
+    def test_parallel_flags(self):
+        args = build_parser().parse_args(
+            ["table2", "--jobs", "4", "--cache-dir", "/tmp/c", "--no-cache",
+             "--manifest", "/tmp/m.json"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache is True
+        assert args.manifest == "/tmp/m.json"
+
+    def test_invalid_jobs_is_exit_code_2(self):
+        assert main(["table2", "--jobs", "0"]) == 2
+
+    def test_cache_dir_that_is_a_file_is_exit_code_2(self, tmp_path):
+        not_a_dir = tmp_path / "occupied"
+        not_a_dir.write_text("")
+        assert main(["table2", "--cache-dir", str(not_a_dir)]) == 2
 
 
 class TestMainSmoke:
@@ -41,3 +63,21 @@ class TestMainSmoke:
         out = capsys.readouterr().out
         assert "Windy forest, 100% B nodes" in out
         assert "peak improvement" in out
+
+    def test_fig8_parallel_cached_rerun_matches(self, capsys, tmp_path):
+        # Same artifact with --jobs 2 and a cache: output identical, and
+        # the second invocation is served entirely from the cache.
+        argv = ["fig8", "--scale", "quick", "--p-step", "100", "--seed", "3",
+                "--jobs", "2", "--cache-dir", str(tmp_path),
+                "--manifest", str(tmp_path / "run.json")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "Windy forest, 100% B nodes" in first
+
+        import json
+
+        manifest = json.loads((tmp_path / "run.json").read_text())
+        assert manifest["cache_hits"] == manifest["total_cells"] == 4

@@ -1,11 +1,15 @@
 """Tests for parameter sweeps and the result store."""
 
+import json
+import math
+
 import pytest
 
+from repro.core.parameters import CCParams
 from repro.experiments import ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.experiments.store import ResultStore, config_key, result_from_dict, result_to_dict
-from repro.experiments.sweep import sweep
+from repro.experiments.sweep import METRIC_FIELDS, SweepCell, SweepResult, sweep
 
 from tests.conftest import MICRO_SCALE
 
@@ -66,6 +70,94 @@ class TestSweep:
         assert seen == [(0, 2), (1, 2)]
 
 
+class _FakeResult:
+    """Result stub so metric-edge-case sweeps need no simulation."""
+
+    def __init__(self, non_hotspot=1.0, fairness=1.0):
+        self.non_hotspot = non_hotspot
+        self.hotspot = 2.0
+        self.all_nodes = 3.0
+        self.total = 4.0
+        self.fecn_marks = 0
+        self.becns = 0
+        self._fairness = fairness
+
+    def fairness(self):
+        return self._fairness
+
+
+def _fake_cell(threshold, **kw):
+    return SweepCell({"threshold": threshold}, _FakeResult(**kw))
+
+
+NAN = float("nan")
+
+
+class TestBestByNaN:
+    def test_nan_cells_are_skipped(self):
+        # NaN first: the historical max()-with-NaN-key bug returned it.
+        res = SweepResult(cells=[
+            _fake_cell(1, fairness=NAN),
+            _fake_cell(2, fairness=0.5),
+            _fake_cell(3, fairness=0.9),
+        ])
+        assert res.best_by("fairness").assignment["threshold"] == 3
+        assert res.best_by("fairness", maximize=False).assignment["threshold"] == 2
+
+    def test_nan_last_also_skipped(self):
+        res = SweepResult(cells=[
+            _fake_cell(1, fairness=0.4),
+            _fake_cell(2, fairness=NAN),
+        ])
+        assert res.best_by("fairness").assignment["threshold"] == 1
+
+    def test_all_nan_raises_clear_error(self):
+        res = SweepResult(cells=[
+            _fake_cell(1, fairness=NAN), _fake_cell(2, fairness=NAN)
+        ])
+        with pytest.raises(ValueError, match="NaN in all 2"):
+            res.best_by("fairness")
+
+    def test_empty_sweep_raises(self):
+        with pytest.raises(ValueError, match="empty sweep"):
+            SweepResult().best_by("fairness")
+
+
+class TestEmptyCsv:
+    def test_header_only_when_params_known(self):
+        res = SweepResult(param_names=["threshold", "cc"])
+        lines = res.to_csv().splitlines()
+        assert len(lines) == 1
+        header = lines[0].split(",")
+        assert header[:2] == ["threshold", "cc"]
+        assert header[2:] == list(METRIC_FIELDS)
+
+    def test_error_explains_when_header_underivable(self):
+        with pytest.raises(ValueError, match="no cells were run"):
+            SweepResult().to_csv()
+
+    def test_sweep_populates_param_names(self):
+        res = sweep(micro_cfg(), {"threshold": [15]})
+        assert res.param_names == ["threshold"]
+
+
+class TestConfigKeyStability:
+    def test_stable_across_kwarg_ordering(self):
+        a = ExperimentConfig(scale=MICRO_SCALE, seed=3, cc=True, p=0.5)
+        b = ExperimentConfig(p=0.5, cc=True, seed=3, scale=MICRO_SCALE)
+        assert config_key(a) == config_key(b)
+
+    def test_stable_across_equal_cc_params_instances(self):
+        pa = CCParams.paper_table1().with_(threshold=9)
+        pb = CCParams.paper_table1().with_(threshold=9)
+        assert config_key(micro_cfg(cc_params=pa)) == config_key(micro_cfg(cc_params=pb))
+
+    def test_cc_param_field_changes_key(self):
+        pa = CCParams.paper_table1().with_(threshold=9)
+        pb = CCParams.paper_table1().with_(threshold=10)
+        assert config_key(micro_cfg(cc_params=pa)) != config_key(micro_cfg(cc_params=pb))
+
+
 class TestResultStore:
     def test_roundtrip(self, tmp_path):
         cfg = micro_cfg()
@@ -99,3 +191,44 @@ class TestResultStore:
     def test_key_distinguishes_configs(self):
         assert config_key(micro_cfg()) != config_key(micro_cfg(cc=False))
         assert config_key(micro_cfg()) == config_key(micro_cfg())
+
+    def test_roundtrip_through_json_text(self):
+        res = run_experiment(micro_cfg())
+        restored = result_from_dict(json.loads(json.dumps(result_to_dict(res))))
+        assert restored.rates_gbps == res.rates_gbps
+        assert restored.groups == res.groups
+        assert restored.config == res.config
+        assert math.isclose(restored.tmax, res.tmax)
+
+    def test_contains(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        cfg = micro_cfg()
+        assert cfg not in store
+        store.save(run_experiment(cfg))
+        assert cfg in store
+        assert micro_cfg(cc=False) not in store
+
+
+class TestReadThroughLayer:
+    """The repro.parallel cache over the store: hit/miss accounting."""
+
+    def test_cache_hits_after_write_through(self, tmp_path):
+        from repro.parallel import CellCache
+
+        cache = CellCache(str(tmp_path))
+        cfg = micro_cfg()
+        assert cache.load(cfg) is None
+        assert cache.misses == 1
+        cache.save(run_experiment(cfg))
+        assert cache.stores == 1
+        hit = cache.load(cfg)
+        assert hit is not None and cache.hits == 1
+        assert hit.rates_gbps == run_experiment(cfg).rates_gbps
+
+    def test_non_experiment_results_pass_through_uncached(self, tmp_path):
+        from repro.parallel import CellCache
+
+        cache = CellCache(str(tmp_path))
+        cache.save("not an ExperimentResult")
+        assert cache.stores == 0
+        assert len(cache.store) == 0
