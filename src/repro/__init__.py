@@ -28,6 +28,7 @@ from repro.topology import (
 )
 from repro.traffic import BNodeSource, FixedRateSource, HotspotSchedule, assign_roles
 from repro.metrics import Collector, group_rates, tmax_gbps, jain_fairness
+from repro.trace import TraceAuditor, TraceSession, TraceSpec
 
 __version__ = "1.0.0"
 
@@ -56,6 +57,9 @@ __all__ = [
     "group_rates",
     "tmax_gbps",
     "jain_fairness",
+    "TraceAuditor",
+    "TraceSession",
+    "TraceSpec",
     "quick_simulation",
 ]
 

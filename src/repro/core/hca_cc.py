@@ -47,6 +47,7 @@ class HcaCC:
         "_byte_time",
         "becns_applied",
         "timer_fires",
+        "trace",
     )
 
     def __init__(self, hca, params: CCParams, cct: Optional[List[float]] = None) -> None:
@@ -62,6 +63,7 @@ class HcaCC:
         self._byte_time = hca.obuf.link.byte_time_ns
         self.becns_applied = 0
         self.timer_fires = 0
+        self.trace = None  # tracer (repro.trace), or None
 
     # -- keying ----------------------------------------------------------
     def _key(self, flow: FlowKey, sl: int = 0) -> Hashable:
@@ -96,8 +98,15 @@ class HcaCC:
         if state is None:
             state = _FlowState()
             self._states[key] = state
+        old = state.ccti
         state.ccti = min(state.ccti + self.params.ccti_increase, self.params.ccti_limit)
         self.becns_applied += 1
+        if self.trace is not None:
+            now = self.hca.sim.now
+            node = self.hca.node_id
+            self.trace.becn(now, node, flow[0], flow[1], sl)
+            ksrc, kdst = key if self.params.cc_mode == "qp" else (-1, sl)
+            self.trace.ccti_change(now, node, ksrc, kdst, old, state.ccti)
         self._ensure_timer()
 
     # -- recovery timer ----------------------------------------------
@@ -111,11 +120,15 @@ class HcaCC:
         self.timer_fires += 1
         floor = self.params.ccti_min
         any_active = False
+        decremented = 0
         for state in self._states.values():
             if state.ccti > floor:
                 state.ccti -= 1
+                decremented += 1
                 if state.ccti > floor:
                     any_active = True
+        if self.trace is not None:
+            self.trace.timer_fire(self.hca.sim.now, self.hca.node_id, decremented)
         if any_active:
             self._ensure_timer()
         # A flow may now be allowed earlier than the generator planned.

@@ -56,6 +56,18 @@ class CCManager:
             self.hca_cc.append(hcc)
         return self
 
+    def attach_trace(self, tracer) -> "CCManager":
+        """Point every installed CC component at ``tracer`` (or None).
+
+        :class:`repro.trace.TraceSession` uses this for the core layer;
+        callers doing manual wiring can use it directly.
+        """
+        for scc in self.switch_cc:
+            scc.trace = tracer
+        for hcc in self.hca_cc:
+            hcc.trace = tracer
+        return self
+
     # -- aggregate statistics for reports/tests -------------------------
     def total_marks(self) -> int:
         """FECN marks applied across all switches."""

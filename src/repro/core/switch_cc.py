@@ -34,6 +34,7 @@ class SwitchCC:
         "_skip",
         "marks",
         "eligible",
+        "trace",
     )
 
     def __init__(self, switch, params: CCParams) -> None:
@@ -51,6 +52,7 @@ class SwitchCC:
         ]
         self.marks = 0
         self.eligible = 0
+        self.trace = None  # tracer (repro.trace), or None
 
     def attach(self) -> None:
         """Register as the marking hook on every output port."""
@@ -95,3 +97,9 @@ class SwitchCC:
         pkt.fecn = True
         self.marks += 1
         skip[vl] = params.marking_rate
+        if self.trace is not None:
+            self.trace.fecn_mark(
+                self.switch.sim.now, self.switch.node_id, port_index, vl,
+                pkt.src, pkt.dst,
+                self.switch.arbiters[port_index].queued_bytes[vl],
+            )

@@ -49,6 +49,7 @@ class Simulator:
 
     __slots__ = (
         "now",
+        "trace",
         "_heap",
         "_seq",
         "_cancelled",
@@ -59,6 +60,10 @@ class Simulator:
 
     def __init__(self, max_events: Optional[int] = None) -> None:
         self.now: float = 0.0
+        # Tracing handle (repro.trace.Tracer) or None. Held here so any
+        # component can reach the active tracer through its simulator;
+        # the event loop itself never touches it.
+        self.trace = None
         self._heap: list = []
         self._seq: int = 0
         self._cancelled: set = set()

@@ -92,7 +92,38 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the JSON run manifest (per-cell status/retries/timing)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "trace every cell (repro.trace): compute per-cell digests "
+            "(recorded in the --manifest file and printed to stderr) and "
+            "audit CC/flow-control invariants online"
+        ),
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="with --trace: also write each cell's replayable JSONL trace under DIR",
+    )
     return parser
+
+
+def _trace_report(results, stream) -> int:
+    """Print per-cell digests; returns the total violation count."""
+    from repro.experiments.runner import config_slug
+
+    violations = 0
+    for res in results:
+        print(
+            f"trace {config_slug(res.config)}: digest {res.trace_digest} "
+            f"({res.trace_records} records, "
+            f"{res.trace_violations} violations)",
+            file=stream,
+        )
+        violations += res.trace_violations
+    return violations
 
 
 def main(argv=None) -> int:
@@ -104,10 +135,19 @@ def main(argv=None) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.trace_dir is not None and not args.trace:
+        print("--trace-dir requires --trace", file=sys.stderr)
+        return 2
     cache = None if args.no_cache else args.cache_dir
     if cache is not None and os.path.exists(cache) and not os.path.isdir(cache):
         print(f"--cache-dir {cache!r} exists and is not a directory", file=sys.stderr)
         return 2
+    run_fn = None
+    if args.trace:
+        from repro.experiments.runner import TracedRun
+        from repro.trace import TraceSpec
+
+        run_fn = TracedRun(TraceSpec(jsonl_dir=args.trace_dir))
     # Live progress goes to stderr so stdout stays a clean table/figure.
     reporter = ProgressReporter(stream=sys.stderr) if args.jobs > 1 else None
     campaign_kw = dict(
@@ -115,10 +155,17 @@ def main(argv=None) -> int:
         cache=cache,
         reporter=reporter,
         manifest_path=args.manifest,
+        run_fn=run_fn,
     )
 
+    traced_results = []
     if args.artifact == "table2":
-        print(run_table2(scale, seed=args.seed, **campaign_kw).format())
+        table = run_table2(scale, seed=args.seed, **campaign_kw)
+        traced_results = [
+            table.baseline_no_cc, table.baseline_cc,
+            table.hotspots_no_cc, table.hotspots_cc,
+        ]
+        print(table.format())
     elif args.artifact in _WINDY_X:
         step = args.p_step / 100.0
         p_values = []
@@ -130,6 +177,7 @@ def main(argv=None) -> int:
             _WINDY_X[args.artifact], scale, p_values=p_values, seed=args.seed,
             **campaign_kw,
         )
+        traced_results = [r for pt in fig.points for r in (pt.off, pt.on)]
         print(fig.format())
         peak = fig.peak_improvement()
         print(f"peak improvement {peak.improvement:.1f}x at p={peak.p * 100:.0f}%")
@@ -162,6 +210,7 @@ def main(argv=None) -> int:
             fig = run_moving_figure(scale, b_fraction=1.0, p=args.p / 100.0,
                                     label=f"100% B, p={args.p:.0f}", seed=args.seed,
                                     **campaign_kw)
+        traced_results = [r for pt in fig.points for r in (pt.off, pt.on)]
         print(fig.format())
         if args.chart:
             from repro.metrics import line_chart
@@ -174,6 +223,11 @@ def main(argv=None) -> int:
                 x_label="hotspot lifetime (ms)",
                 y_label="all-node rcv (Gbit/s)",
             ))
+    if args.trace and traced_results:
+        if _trace_report(traced_results, sys.stderr):
+            print("trace audit FAILED: invariant violations detected",
+                  file=sys.stderr)
+            return 1
     return 0
 
 

@@ -101,6 +101,7 @@ def run_moving_figure(
     timeout_s: float | None = None,
     reporter=None,
     manifest_path: str | None = None,
+    run_fn=None,
 ) -> MovingFigure:
     """A lifetime sweep.
 
@@ -142,6 +143,7 @@ def run_moving_figure(
         timeout_s=timeout_s,
         progress=reporter,
         manifest_path=manifest_path,
+        run_fn=run_fn,
     ).raise_on_failure()
     results = campaign.results
     points = [

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.core.manager import CCManager
 from repro.engine.rng import RngRegistry
@@ -15,6 +16,7 @@ from repro.metrics.collector import Collector
 from repro.network.hca import HcaConfig
 from repro.network.network import Network, NetworkConfig
 from repro.topology.fattree import three_stage_fat_tree
+from repro.trace.session import TraceSession, TraceSpec
 from repro.traffic.generators import BNodeSource
 from repro.traffic.hotspots import HotspotSchedule
 from repro.traffic.mixes import assign_roles
@@ -36,6 +38,10 @@ class ExperimentResult:
     becns: int
     events: int
     wall_seconds: float
+    # Filled only for traced runs (run_experiment(..., trace=...)).
+    trace_digest: Optional[str] = None
+    trace_violations: int = 0
+    trace_records: int = 0
 
     @property
     def non_hotspot(self) -> float:
@@ -104,8 +110,39 @@ def build_generators(cfg: ExperimentConfig, n_hosts: int, rng: RngRegistry, sche
     return generators, mix
 
 
-def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
-    """Simulate one configuration and aggregate the paper's metrics."""
+def config_slug(cfg: ExperimentConfig) -> str:
+    """A short human-readable per-cell identifier (trace file names).
+
+    Unique within every shipped campaign: the drivers bake the sweep
+    coordinates (p, lifetime, x) into ``cfg.name`` and the remaining
+    axes (seed, CC on/off, silenced contributors) are appended here.
+    """
+    parts = [
+        cfg.name or "cell",
+        f"seed{cfg.seed}",
+        "cc" if cfg.cc else "nocc",
+    ]
+    if not cfg.contributors_active:
+        parts.append("silent")
+    return "-".join(parts)
+
+
+def run_experiment(
+    cfg: ExperimentConfig,
+    *,
+    trace: Union[TraceSpec, bool, None] = None,
+) -> ExperimentResult:
+    """Simulate one configuration and aggregate the paper's metrics.
+
+    ``trace`` enables the :mod:`repro.trace` layer for this run:
+    ``True`` computes the trace digest and runs the online auditor; a
+    :class:`~repro.trace.TraceSpec` additionally selects a JSONL
+    output directory, ring buffer, or strict (raise-on-violation)
+    auditing. The result then carries ``trace_digest``,
+    ``trace_violations`` and ``trace_records``. Tracing only observes:
+    traced and untraced runs of the same config produce identical
+    metrics.
+    """
     topo = three_stage_fat_tree(cfg.scale.radix)
     n_hosts = topo.n_hosts
     sim_time = cfg.resolved_sim_time()
@@ -124,6 +161,21 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
     if cfg.cc:
         manager = CCManager(cfg.resolved_cc_params()).install(network)
 
+    session = None
+    if trace:
+        spec = trace if isinstance(trace, TraceSpec) else TraceSpec()
+        jsonl_path = None
+        if spec.jsonl_dir:
+            os.makedirs(spec.jsonl_dir, exist_ok=True)
+            jsonl_path = os.path.join(spec.jsonl_dir, config_slug(cfg) + ".jsonl")
+        session = TraceSession(
+            jsonl_path=jsonl_path,
+            ring=spec.ring,
+            audit=spec.audit,
+            strict=spec.strict,
+            ccti_limit=cfg.resolved_cc_params().ccti_limit,
+        ).install(sim, network, manager)
+
     schedule = HotspotSchedule.choose_initial(
         cfg.scale.n_hotspots,
         n_hosts,
@@ -139,7 +191,11 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
     schedule.install(sim, network.hcas)
 
     started = time.perf_counter()
-    network.run(until=sim_time)
+    try:
+        network.run(until=sim_time)
+    finally:
+        if session is not None:
+            session.close()
     wall = time.perf_counter() - started
 
     rates = collector.all_rx_rates_gbps(sim_time)
@@ -171,4 +227,27 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
         becns=manager.total_becns() if manager else 0,
         events=sim.events_executed,
         wall_seconds=wall,
+        trace_digest=session.digest if session else None,
+        trace_violations=session.violation_count if session else 0,
+        trace_records=session.records_emitted if session else 0,
     )
+
+
+class TracedRun:
+    """A picklable ``run_experiment`` wrapper with tracing enabled.
+
+    Campaign executors need a module-level callable to ship to pool
+    workers; ``TracedRun(spec)`` carries the :class:`TraceSpec` along::
+
+        run_campaign(configs, jobs=4, run_fn=TracedRun())
+
+    Every cell's result then has a ``trace_digest``, which
+    :class:`~repro.parallel.manifest.RunManifest` records per cell —
+    the proof that ``jobs=1`` and ``jobs=N`` runs are event-equivalent.
+    """
+
+    def __init__(self, spec: Optional[TraceSpec] = None) -> None:
+        self.spec = spec if spec is not None else TraceSpec()
+
+    def __call__(self, cfg: ExperimentConfig) -> ExperimentResult:
+        return run_experiment(cfg, trace=self.spec)

@@ -49,6 +49,9 @@ def result_to_dict(res: ExperimentResult) -> dict:
         "becns": res.becns,
         "events": res.events,
         "wall_seconds": res.wall_seconds,
+        "trace_digest": res.trace_digest,
+        "trace_violations": res.trace_violations,
+        "trace_records": res.trace_records,
     }
 
 
@@ -78,6 +81,10 @@ def result_from_dict(data: dict) -> ExperimentResult:
         becns=data["becns"],
         events=data["events"],
         wall_seconds=data["wall_seconds"],
+        # Absent in results stored before the trace layer existed.
+        trace_digest=data.get("trace_digest"),
+        trace_violations=data.get("trace_violations", 0),
+        trace_records=data.get("trace_records", 0),
     )
 
 

@@ -145,6 +145,7 @@ def sweep(
     reporter=None,
     manifest_path: Optional[str] = None,
     strict: bool = True,
+    run_fn=None,
 ) -> SweepResult:
     """Run the cartesian product of ``grid`` over ``base``.
 
@@ -198,6 +199,7 @@ def sweep(
         timeout_s=timeout_s,
         progress=reporter,
         manifest_path=manifest_path,
+        run_fn=run_fn,
     )
     if strict and campaign.failed:
         raise CampaignError(campaign.failed)

@@ -73,6 +73,7 @@ def run_table2(
     timeout_s: float | None = None,
     reporter=None,
     manifest_path: str | None = None,
+    run_fn=None,
 ) -> Table2Result:
     """Run the four phases of Table II at the given scale.
 
@@ -81,7 +82,9 @@ def run_table2(
     (1 = in-process serial, byte-identical to the historical driver),
     ``cache`` enables read-through result caching, and ``retry``/
     ``timeout_s``/``reporter``/``manifest_path`` forward to the
-    executor. A phase that fails after its retries raises
+    executor. ``run_fn`` overrides the per-cell runner — e.g.
+    :class:`~repro.experiments.runner.TracedRun` to capture trace
+    digests. A phase that fails after its retries raises
     :class:`~repro.parallel.pool.CampaignError` — Table II needs all
     four rows.
     """
@@ -106,6 +109,7 @@ def run_table2(
         timeout_s=timeout_s,
         progress=reporter,
         manifest_path=manifest_path,
+        run_fn=run_fn,
     ).raise_on_failure()
     baseline_no_cc, baseline_cc, hotspots_no_cc, hotspots_cc = campaign.results
     return Table2Result(

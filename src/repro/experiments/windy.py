@@ -111,6 +111,7 @@ def run_windy_figure(
     timeout_s: float | None = None,
     reporter=None,
     manifest_path: str | None = None,
+    run_fn=None,
 ) -> WindyFigure:
     """A whole figure's sweep: figures 5 (x=.25) through 8 (x=1.0).
 
@@ -145,6 +146,7 @@ def run_windy_figure(
         timeout_s=timeout_s,
         progress=reporter,
         manifest_path=manifest_path,
+        run_fn=run_fn,
     ).raise_on_failure()
     results = campaign.results
     points = [

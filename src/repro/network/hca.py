@@ -145,6 +145,7 @@ class Hca:
         "gen",
         "cc",
         "metrics",
+        "trace",
         "_wake_id",
         "_pulling",
         "_max_wire",
@@ -176,6 +177,7 @@ class Hca:
         self.gen = None  # pluggable traffic source (repro.traffic)
         self.cc = None  # HcaCC, installed by the CC manager
         self.metrics = None  # collector (repro.metrics), or None
+        self.trace = None  # tracer (repro.trace), or None
         self._wake_id: Optional[int] = None
         self._pulling = False
         self._max_wire = config.mtu + config.header_bytes
@@ -218,6 +220,8 @@ class Hca:
                     self.cc.on_inject(pkt)
                 if self.metrics is not None:
                     self.metrics.record_tx(self.node_id, pkt, sim.now)
+                if self.trace is not None:
+                    self.trace.inject(sim.now, self.node_id, pkt.dst, pkt.vl, pkt.payload)
                 obuf.enqueue(pkt)
         finally:
             self._pulling = False
@@ -238,6 +242,12 @@ class Hca:
         """Sink completion: metrics, BECN handling, FECN -> CNP."""
         if self.metrics is not None:
             self.metrics.record_rx(self.node_id, pkt, self.sim.now)
+        if self.trace is not None:
+            self.trace.rx(
+                self.sim.now, self.node_id, pkt.src, pkt.dst, pkt.vl,
+                pkt.payload, 1 if pkt.fecn else 0, 1 if pkt.becn else 0,
+                1 if pkt.is_control else 0,
+            )
         if pkt.becn:
             self.becns_received += 1
             if self.cc is not None:
@@ -266,6 +276,8 @@ class Hca:
         pkt = Packet.cnp(self.node_id, dst, vl=self.config.cnp_vl)
         pkt.t_inject = self.sim.now
         self.cnps_sent += 1
+        if self.trace is not None:
+            self.trace.cnp(self.sim.now, self.node_id, dst)
         self.obuf.enqueue(pkt, front=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -80,6 +80,9 @@ class OutputPort:
         "bytes_sent",
         "packets_sent",
         "vlarb",
+        "trace",
+        "trace_kind",
+        "trace_node",
         "_rr_vl",
         "_n_vls",
     )
@@ -110,6 +113,11 @@ class OutputPort:
         # Optional richer egress scheduler (repro.network.vlarb); None
         # means plain round robin over credit-covered VLs.
         self.vlarb = None
+        # Tracing hook (repro.trace), set by TraceSession.install along
+        # with the owning node's identity; None costs one branch per tx.
+        self.trace = None
+        self.trace_kind = ""
+        self.trace_node = -1
         self._rr_vl = 0
         self._n_vls = n_vls
 
@@ -183,6 +191,14 @@ class OutputPort:
             self.cc.on_transmit(self.port_index, pkt, credits[pkt.vl])
         self.bytes_sent += wire
         self.packets_sent += 1
+        trace = self.trace
+        if trace is not None:
+            # After the CC hook so the record sees the FECN decision.
+            trace.tx(
+                self.sim.now, self.trace_kind, self.trace_node,
+                self.port_index, pkt.vl, pkt.src, pkt.dst, wire,
+                1 if pkt.fecn else 0, credits[pkt.vl],
+            )
         self.sim.schedule(wire * self.link.byte_time_ns, self._tx_done, pkt)
         if self.on_space is not None:
             self.on_space()

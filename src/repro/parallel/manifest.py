@@ -25,6 +25,10 @@ class CellRecord:
     attempts: int
     wall_seconds: float
     error: Optional[str] = None
+    # Trace digest of the cell's run, when it was executed with tracing
+    # (repro.trace) — the event-level equivalence token across jobs=1
+    # and jobs=N executions of the same campaign.
+    digest: Optional[str] = None
 
 
 @dataclass
@@ -75,11 +79,16 @@ class RunManifest:
                 attempts=outcome.attempts,
                 wall_seconds=outcome.wall_seconds,
                 error=outcome.error,
+                digest=getattr(outcome.result, "trace_digest", None),
             )
         )
 
     def failed_cells(self) -> List[CellRecord]:
         return [c for c in self.cells if c.status == "failed"]
+
+    def digests(self) -> Dict[str, Optional[str]]:
+        """Per-cell trace digests keyed by config key (None untraced)."""
+        return {c.key: c.digest for c in self.cells}
 
     def to_dict(self) -> Dict:
         return asdict(self)

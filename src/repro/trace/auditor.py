@@ -1,0 +1,146 @@
+"""Online trace auditing: invariants checked as records are emitted.
+
+The simulator's unit tests assert invariants on *final* state; the
+auditor asserts them on *every event* of a live run, so a refactor
+that transiently violates flow control or CC bounds is caught at the
+moment it happens, with the offending record in hand. Checked
+invariants:
+
+* **event-time monotonicity** — records are emitted in non-decreasing
+  virtual time (the event loop's fundamental ordering contract);
+* **credit non-negativity** — no port ever transmits past its
+  link-level credit balance (lossless fabric);
+* **byte conservation** — no flow delivers more payload than its
+  source injected (the fabric never fabricates data);
+* **CCTI bounds** — every CCT-index change lands in
+  ``[0, CCTI_Limit]``;
+* **flag consistency** — BECN rides only control packets (CNPs), CNPs
+  always carry BECN, FECN never appears on control packets, and
+  packets are only delivered to their addressed destination.
+
+Violations are recorded (and optionally raised via ``strict=True``);
+``summary()`` renders them for failure messages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.trace.records import (
+    EV_BECN,
+    EV_CCTI,
+    EV_INJECT,
+    EV_RX,
+    EV_TX,
+    TraceRecord,
+    canonical_line,
+)
+
+# Keep failure output bounded even if a bug floods the stream.
+MAX_STORED_VIOLATIONS = 100
+
+
+class TraceViolation(RuntimeError):
+    """Raised in strict mode when a record breaks an invariant."""
+
+
+class TraceAuditor:
+    """Checks the invariant set over one record stream."""
+
+    __slots__ = (
+        "ccti_limit",
+        "strict",
+        "violations",
+        "violation_count",
+        "_last_t",
+        "_injected",
+        "_delivered",
+    )
+
+    def __init__(self, *, ccti_limit: int = 127, strict: bool = False) -> None:
+        self.ccti_limit = ccti_limit
+        self.strict = strict
+        self.violations: List[str] = []
+        self.violation_count = 0
+        self._last_t = 0.0
+        # Per-flow payload totals for the conservation check.
+        self._injected: Dict[Tuple[int, int], int] = {}
+        self._delivered: Dict[Tuple[int, int], int] = {}
+
+    @property
+    def ok(self) -> bool:
+        return self.violation_count == 0
+
+    def _violate(self, msg: str, rec: TraceRecord) -> None:
+        self.violation_count += 1
+        if len(self.violations) < MAX_STORED_VIOLATIONS:
+            self.violations.append(f"{msg}: {canonical_line(rec)}")
+        if self.strict:
+            raise TraceViolation(f"{msg}: {canonical_line(rec)}")
+
+    def observe(self, rec: TraceRecord) -> None:
+        """Check one record against every applicable invariant."""
+        t = rec[1]
+        if t < self._last_t:
+            self._violate(
+                f"time went backwards ({t} < {self._last_t})", rec
+            )
+        else:
+            self._last_t = t
+
+        etype = rec[0]
+        if etype == EV_TX:
+            # (tx, t, kind, node, port, vl, src, dst, wire, fecn, credit)
+            if rec[10] < 0:
+                self._violate("negative credit after transmit", rec)
+        elif etype == EV_RX:
+            # (rx, t, node, src, dst, vl, payload, fecn, becn, ctrl)
+            node, src, dst = rec[2], rec[3], rec[4]
+            payload, fecn, becn, ctrl = rec[6], rec[7], rec[8], rec[9]
+            if dst != node:
+                self._violate("misdelivery (dst != receiving node)", rec)
+            if ctrl and fecn:
+                self._violate("control packet carries FECN", rec)
+            if ctrl and not becn:
+                self._violate("control packet without BECN", rec)
+            if becn and not ctrl:
+                self._violate("BECN on a data packet", rec)
+            if not ctrl:
+                flow = (src, dst)
+                delivered = self._delivered.get(flow, 0) + payload
+                self._delivered[flow] = delivered
+                if delivered > self._injected.get(flow, 0):
+                    self._violate(
+                        f"byte conservation broken for flow {flow} "
+                        f"(delivered {delivered} > injected "
+                        f"{self._injected.get(flow, 0)})",
+                        rec,
+                    )
+        elif etype == EV_INJECT:
+            # (inj, t, node, dst, vl, payload)
+            flow = (rec[2], rec[3])
+            self._injected[flow] = self._injected.get(flow, 0) + rec[5]
+        elif etype == EV_CCTI:
+            # (ccti, t, node, ksrc, kdst, old, new)
+            new = rec[6]
+            if not 0 <= new <= self.ccti_limit:
+                self._violate(
+                    f"CCTI {new} outside [0, {self.ccti_limit}]", rec
+                )
+        elif etype == EV_BECN:
+            # (becn, t, node, src, dst, sl) — the notified node must be
+            # the flow's source (BECNs throttle the injector).
+            if rec[2] != rec[3]:
+                self._violate("BECN applied at a non-source node", rec)
+
+    def summary(self) -> str:
+        """Human-readable violation report (empty string when clean)."""
+        if self.ok:
+            return ""
+        lines = [f"{self.violation_count} trace invariant violation(s):"]
+        lines += [f"  {v}" for v in self.violations]
+        if self.violation_count > len(self.violations):
+            lines.append(
+                f"  ... and {self.violation_count - len(self.violations)} more"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Canonical trace records and their stable encoding.
+
+A trace is a stream of flat tuples, one per observed event, in
+execution order. The first element is the event type tag, the second
+the virtual time; the remaining fields are scalars (ints, floats,
+short strings). Because the simulator is deterministic for a fixed
+seed, the encoded stream — and therefore its digest — is a *behavioral
+fingerprint* of a run: any change to packet-level dynamics (ordering,
+marking, throttling, timer cadence) changes the digest.
+
+Record schemas (all times in virtual ns):
+
+========  ==============================================================
+tag       fields after ``(tag, t, ...)``
+========  ==============================================================
+``inj``   ``node, dst, vl, payload`` — HCA injects a data packet
+``tx``    ``kind, node, port, vl, src, dst, wire, fecn, credit`` — a
+          port begins transmitting; ``kind`` is ``"h"`` (HCA obuf) or
+          ``"s"`` (switch output); ``credit`` is the VL's credit balance
+          *after* reserving this packet
+``rx``    ``node, src, dst, vl, payload, fecn, becn, ctrl`` — HCA sink
+          delivers a packet (flags encoded 0/1)
+``fecn``  ``switch, port, vl, src, dst, queued`` — a switch FECN-marks
+          a packet; ``queued`` is the Port VL's queued bytes
+``cnp``   ``node, dst`` — an HCA returns a congestion notification
+``becn``  ``node, src, dst, sl`` — HCA-side CC receives a BECN for flow
+          ``(src, dst)``
+``ccti``  ``node, ksrc, kdst, old, new`` — a flow's CCT index changed;
+          in SL mode the key is encoded ``(-1, sl)``
+``timer`` ``node, decremented`` — recovery timer fired, decrementing
+          ``decremented`` flow indices
+``end``   ``events`` — emitted once at session close with the
+          simulator's executed-event count
+========  ==============================================================
+
+The canonical encoding of a record is ``repr()`` of its tuple — stable
+across runs and Python versions (ints render exactly; floats use the
+shortest-roundtrip repr). The JSONL form is the JSON array of the same
+fields, which round-trips losslessly back to the canonical form (see
+:func:`repro.trace.digest.digest_of_jsonl`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+TraceRecord = Tuple
+
+# Event type tags (index 0 of every record).
+EV_INJECT = "inj"
+EV_TX = "tx"
+EV_RX = "rx"
+EV_FECN = "fecn"
+EV_CNP = "cnp"
+EV_BECN = "becn"
+EV_CCTI = "ccti"
+EV_TIMER = "timer"
+EV_END = "end"
+
+ALL_EVENTS = (
+    EV_INJECT,
+    EV_TX,
+    EV_RX,
+    EV_FECN,
+    EV_CNP,
+    EV_BECN,
+    EV_CCTI,
+    EV_TIMER,
+    EV_END,
+)
+
+
+def canonical_line(rec: TraceRecord) -> str:
+    """The canonical single-line encoding of one record."""
+    return repr(rec)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core import CCManager, CCParams
@@ -11,6 +13,36 @@ from repro.metrics import Collector
 from repro.network import HcaConfig, Network, NetworkConfig
 from repro.topology import folded_clos, three_stage_fat_tree
 from repro.traffic import BNodeSource, FixedRateSource, HotspotSchedule
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis ships with the image
+    settings = None
+
+if settings is not None:
+    # "ci" is the default: no wall-clock deadline (the simulator's first
+    # call warms caches and would trip flaky DeadlineExceeded), and
+    # derandomized so a red run reproduces byte-for-byte. print_blob
+    # makes hypothesis print the @reproduce_failure seed on failure.
+    settings.register_profile(
+        "ci", deadline=None, derandomize=True, print_blob=True
+    )
+    settings.register_profile("dev", deadline=None, print_blob=True)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden trace-digest fixtures under tests/golden/",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")
 
 
 # A micro scale profile so experiment-layer tests run in milliseconds.

@@ -1,0 +1,263 @@
+"""Unit tests for repro.trace: records, sinks, digests, auditor, session."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.engine import RngRegistry, Simulator
+from repro.trace import (
+    ALL_EVENTS,
+    DigestSink,
+    JsonlSink,
+    RingBufferSink,
+    TraceAuditor,
+    TraceSession,
+    TraceViolation,
+    Tracer,
+    canonical_line,
+    digest_of_jsonl,
+    digest_of_records,
+)
+from repro.trace.auditor import MAX_STORED_VIOLATIONS
+
+from tests.conftest import attach_hotspot_contributors, build_network
+
+
+# ---------------------------------------------------------------- records
+
+def test_canonical_line_is_tuple_repr():
+    rec = ("tx", 125.0, "s", 3, 1, 0, 7, 2, 2304, 0, 7936.0)
+    assert canonical_line(rec) == repr(rec)
+
+
+def test_event_tags_unique():
+    assert len(set(ALL_EVENTS)) == len(ALL_EVENTS)
+
+
+# ---------------------------------------------------------------- digests
+
+RECORDS = [
+    ("inj", 0.0, 1, 0, 0, 2048),
+    ("tx", 10.0, "h", 1, 0, 0, 1, 0, 2304, 0, 7936.0),
+    ("rx", 125.5, 0, 1, 0, 0, 2048, 0, 0, 0),
+    ("end", 125.5, 3),
+]
+
+
+def test_digest_deterministic_and_order_sensitive():
+    d1 = digest_of_records(RECORDS)
+    d2 = digest_of_records(RECORDS)
+    assert d1 == d2
+    assert len(d1) == 16
+    assert d1 != digest_of_records(list(reversed(RECORDS)))
+    assert d1 != digest_of_records(RECORDS[:-1])
+
+
+def test_digest_sink_streaming_matches_batch():
+    sink = DigestSink()
+    for rec in RECORDS:
+        sink.write(rec)
+    assert sink.hexdigest() == digest_of_records(RECORDS)
+    assert sink.records_hashed == len(RECORDS)
+
+
+def test_jsonl_round_trips_to_same_digest(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    sink = JsonlSink(path)
+    for rec in RECORDS:
+        sink.write(rec)
+    sink.close()
+    assert sink.records_written == len(RECORDS)
+    # Every line is a JSON array whose reparse equals the original tuple.
+    with open(path) as fh:
+        reread = [tuple(json.loads(line)) for line in fh]
+    assert reread == [tuple(r) for r in RECORDS]
+    assert digest_of_jsonl(path) == digest_of_records(RECORDS)
+
+
+# ------------------------------------------------------------------ sinks
+
+def test_ring_buffer_keeps_most_recent():
+    ring = RingBufferSink(maxlen=2)
+    for rec in RECORDS:
+        ring.write(rec)
+    assert ring.records == RECORDS[-2:]
+    assert len(ring) == 2
+
+
+def test_ring_buffer_rejects_nonpositive_size():
+    with pytest.raises(ValueError):
+        RingBufferSink(maxlen=0)
+
+
+# ----------------------------------------------------------------- tracer
+
+def test_typed_hooks_build_schema_tuples():
+    ring = RingBufferSink(maxlen=100)
+    tr = Tracer([ring])
+    tr.inject(1.0, 5, 0, 0, 2048)
+    tr.tx(2.0, "s", 9, 1, 0, 5, 0, 2304, 1, 512.0)
+    tr.rx(3.0, 0, 5, 0, 0, 2048, 1, 0, 0)
+    tr.fecn_mark(2.0, 9, 1, 0, 5, 0, 9216)
+    tr.cnp(3.5, 0, 5)
+    tr.becn(4.0, 5, 5, 0, 0)
+    tr.ccti_change(4.0, 5, 5, 0, 0, 4)
+    tr.timer_fire(6.0, 5, 1)
+    tr.end(6.0, 42)
+    tags = [rec[0] for rec in ring.records]
+    assert tags == ["inj", "tx", "rx", "fecn", "cnp", "becn", "ccti", "timer", "end"]
+    assert tr.records_emitted == 9
+    assert ring.records[1] == ("tx", 2.0, "s", 9, 1, 0, 5, 0, 2304, 1, 512.0)
+    assert ring.records[6] == ("ccti", 4.0, 5, 5, 0, 0, 4)
+
+
+# ---------------------------------------------------------------- auditor
+
+def _clean_auditor():
+    a = TraceAuditor(ccti_limit=127)
+    a.observe(("inj", 0.0, 1, 0, 0, 2048))
+    return a
+
+
+def test_auditor_accepts_clean_stream():
+    a = _clean_auditor()
+    a.observe(("tx", 10.0, "h", 1, 0, 0, 1, 0, 2304, 0, 7936.0))
+    a.observe(("rx", 125.5, 0, 1, 0, 0, 2048, 0, 0, 0))
+    a.observe(("rx", 126.0, 1, 0, 1, 0, 0, 0, 1, 1))  # a CNP: ctrl+becn
+    a.observe(("ccti", 126.0, 1, 1, 0, 0, 127))
+    assert a.ok
+    assert a.summary() == ""
+
+
+def test_auditor_flags_time_reversal():
+    a = _clean_auditor()
+    a.observe(("cnp", 100.0, 1, 0))
+    a.observe(("cnp", 99.0, 1, 0))
+    assert not a.ok
+    assert "time went backwards" in a.violations[0]
+
+
+def test_auditor_flags_negative_credit():
+    a = _clean_auditor()
+    a.observe(("tx", 1.0, "s", 9, 0, 0, 1, 0, 2304, 0, -64.0))
+    assert "negative credit" in a.violations[0]
+
+
+def test_auditor_flags_misdelivery():
+    a = _clean_auditor()
+    a.observe(("rx", 1.0, 3, 1, 0, 0, 2048, 0, 0, 0))
+    assert "misdelivery" in a.violations[0]
+
+
+@pytest.mark.parametrize(
+    "fecn,becn,ctrl,expect",
+    [
+        (1, 1, 1, "control packet carries FECN"),
+        (0, 0, 1, "control packet without BECN"),
+        (0, 1, 0, "BECN on a data packet"),
+    ],
+)
+def test_auditor_flags_inconsistent_flags(fecn, becn, ctrl, expect):
+    a = _clean_auditor()
+    a.observe(("rx", 1.0, 0, 1, 0, 0, 2048, fecn, becn, ctrl))
+    assert any(expect in v for v in a.violations)
+
+
+def test_auditor_flags_byte_fabrication():
+    a = TraceAuditor()
+    a.observe(("inj", 0.0, 1, 0, 0, 2048))
+    a.observe(("rx", 10.0, 0, 1, 0, 0, 2048, 0, 0, 0))
+    assert a.ok  # delivered == injected is fine
+    a.observe(("rx", 20.0, 0, 1, 0, 0, 2048, 0, 0, 0))
+    assert not a.ok
+    assert "byte conservation" in a.violations[0]
+
+
+def test_auditor_flags_ccti_out_of_bounds():
+    a = TraceAuditor(ccti_limit=127)
+    a.observe(("ccti", 1.0, 1, 1, 0, 127, 128))
+    a.observe(("ccti", 2.0, 1, 1, 0, 0, -1))
+    assert a.violation_count == 2
+    assert all("outside [0, 127]" in v for v in a.violations)
+
+
+def test_auditor_flags_becn_at_non_source():
+    a = TraceAuditor()
+    a.observe(("becn", 1.0, 2, 1, 0, 0))
+    assert "non-source" in a.violations[0]
+
+
+def test_auditor_strict_raises():
+    a = TraceAuditor(strict=True)
+    with pytest.raises(TraceViolation):
+        a.observe(("rx", 1.0, 3, 1, 0, 0, 2048, 0, 0, 0))
+
+
+def test_auditor_bounds_stored_violations():
+    a = TraceAuditor()
+    for i in range(MAX_STORED_VIOLATIONS + 50):
+        a.observe(("becn", float(i), 2, 1, 0, 0))
+    assert a.violation_count == MAX_STORED_VIOLATIONS + 50
+    assert len(a.violations) == MAX_STORED_VIOLATIONS
+    assert "more" in a.summary().splitlines()[-1]
+
+
+# ---------------------------------------------------------------- session
+
+def _run_traced(tmp_path, **session_kw):
+    sim = Simulator()
+    rng = RngRegistry(7)
+    net, collector, manager = build_network(sim, cc=True)
+    session = TraceSession(**session_kw).install(sim, net, manager)
+    attach_hotspot_contributors(net, rng, 0, [1, 2, 3])
+    net.run(until=3e5)
+    session.close()
+    return sim, net, manager, session
+
+
+def test_session_traces_live_run(tmp_path):
+    path = str(tmp_path / "run.jsonl")
+    sim, net, manager, session = _run_traced(
+        tmp_path, jsonl_path=path, ring=50
+    )
+    assert session.records_emitted > 100
+    assert session.violation_count == 0
+    # CC was active, so the trace saw the full event vocabulary.
+    with open(path) as fh:
+        tags = {json.loads(line)[0] for line in fh}
+    assert {"inj", "tx", "rx", "fecn", "cnp", "becn", "ccti"} <= tags
+    # Digest recomputes from the JSONL file.
+    assert digest_of_jsonl(path) == session.digest
+    # The ring holds the tail, ending with the end record.
+    assert session.records[-1] == ("end", sim.now, sim.events_executed)
+
+
+def test_session_close_uninstalls_hooks(tmp_path):
+    sim, net, manager, session = _run_traced(tmp_path, ring=10)
+    assert sim.trace is None
+    assert all(h.trace is None and h.obuf.trace is None for h in net.hcas)
+    assert all(
+        out.trace is None for sw in net.switches for out in sw.output_ports
+    )
+    assert all(scc.trace is None for scc in manager.switch_cc)
+    assert all(hcc.trace is None for hcc in manager.hca_cc)
+    # close() is idempotent: the end record is emitted exactly once.
+    emitted = session.records_emitted
+    session.close()
+    assert session.records_emitted == emitted
+
+
+def test_session_digest_disabled(tmp_path):
+    _, _, _, session = _run_traced(tmp_path, digest=False, ring=10)
+    assert session.digest is None
+    assert session.records  # ring still captured
+
+
+def test_untraced_components_default_to_null_hooks(sim):
+    net, _, manager = build_network(sim, cc=True)
+    assert sim.trace is None
+    assert all(h.trace is None for h in net.hcas)
+    assert all(hcc.trace is None for hcc in manager.hca_cc)

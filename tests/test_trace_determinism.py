@@ -1,0 +1,89 @@
+"""Determinism regressions: trace digests pin down run-for-run equality.
+
+Two properties the whole experiment layer relies on:
+
+* the simulator is deterministic — same seed + config → the identical
+  event stream, not merely similar end metrics;
+* :func:`repro.parallel.run_campaign` is execution-strategy
+  transparent — a cell computes the same events whether it runs
+  in-process (``jobs=1``) or in a worker pool (``jobs=N``).
+
+Both are asserted at event granularity via trace digests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import TracedRun, run_experiment
+from repro.parallel import run_campaign
+from repro.trace import TraceSpec
+
+from tests.conftest import MICRO_SCALE
+
+
+def _cfg(seed: int = 3, cc: bool = True) -> ExperimentConfig:
+    return ExperimentConfig(
+        scale=MICRO_SCALE,
+        cc=cc,
+        b_fraction=0.5,
+        p=0.6,
+        seed=seed,
+        name="determinism",
+        sim_time_ns=1.0e6,
+        warmup_ns=0.3e6,
+    )
+
+
+def test_same_seed_same_digest():
+    first = run_experiment(_cfg(), trace=True)
+    second = run_experiment(_cfg(), trace=True)
+    assert first.trace_digest is not None
+    assert first.trace_digest == second.trace_digest
+    assert first.trace_records == second.trace_records
+    assert first.trace_violations == 0
+
+
+def test_different_seed_different_digest():
+    assert (
+        run_experiment(_cfg(seed=3), trace=True).trace_digest
+        != run_experiment(_cfg(seed=4), trace=True).trace_digest
+    )
+
+
+def test_cc_toggle_changes_digest():
+    assert (
+        run_experiment(_cfg(cc=True), trace=True).trace_digest
+        != run_experiment(_cfg(cc=False), trace=True).trace_digest
+    )
+
+
+def test_tracing_does_not_perturb_results():
+    plain = run_experiment(_cfg())
+    traced = run_experiment(_cfg(), trace=True)
+    assert plain.trace_digest is None
+    assert traced.rates_gbps == plain.rates_gbps
+    assert traced.fecn_marks == plain.fecn_marks
+    assert traced.becns == plain.becns
+    assert traced.events == plain.events
+
+
+@pytest.mark.slow
+def test_jobs1_and_jobs4_are_event_equivalent():
+    configs = [_cfg(seed=s) for s in (1, 2, 3, 4)]
+    serial = run_campaign(configs, jobs=1, run_fn=TracedRun())
+    pooled = run_campaign(configs, jobs=4, run_fn=TracedRun())
+    d_serial = serial.manifest.digests()
+    d_pooled = pooled.manifest.digests()
+    assert all(d_serial.values()), "every cell must report a digest"
+    assert d_serial == d_pooled
+    assert all(r.trace_violations == 0 for r in serial.results)
+    assert all(r.trace_violations == 0 for r in pooled.results)
+
+
+def test_traced_run_spec_forwards(tmp_path):
+    run_fn = TracedRun(TraceSpec(jsonl_dir=str(tmp_path)))
+    result = run_fn(_cfg())
+    assert result.trace_digest
+    assert list(tmp_path.glob("*.jsonl")), "JSONL trace written to jsonl_dir"
