@@ -47,6 +47,7 @@ class HcaCC:
         "_byte_time",
         "becns_applied",
         "timer_fires",
+        "frozen",
         "trace",
     )
 
@@ -63,6 +64,7 @@ class HcaCC:
         self._byte_time = hca.obuf.link.byte_time_ns
         self.becns_applied = 0
         self.timer_fires = 0
+        self.frozen = False  # fault injection: recovery timer held
         self.trace = None  # tracer (repro.trace), or None
 
     # -- keying ----------------------------------------------------------
@@ -117,6 +119,10 @@ class HcaCC:
 
     def _timer_fire(self) -> None:
         self._timer_pending = False
+        if self.frozen:
+            # Fault injection: a frozen timer neither decrements nor
+            # rearms; thaw() restarts recovery.
+            return
         self.timer_fires += 1
         floor = self.params.ccti_min
         any_active = False
@@ -133,6 +139,20 @@ class HcaCC:
             self._ensure_timer()
         # A flow may now be allowed earlier than the generator planned.
         self.hca.kick()
+
+    # -- fault injection (repro.faults) --------------------------------
+    def freeze(self) -> None:
+        """Hold the recovery timer: CCT indices stop decaying."""
+        self.frozen = True
+
+    def thaw(self) -> None:
+        """Resume recovery; rearms the timer if any flow is throttled."""
+        if not self.frozen:
+            return
+        self.frozen = False
+        floor = self.params.ccti_min
+        if any(s.ccti > floor for s in self._states.values()):
+            self._ensure_timer()
 
     # -- introspection -------------------------------------------------
     def throttled_flows(self) -> int:

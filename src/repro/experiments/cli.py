@@ -7,6 +7,9 @@ Examples::
     ibcc-repro fig9a --scale quick
     ibcc-repro fig10 --p 60
     ibcc-repro fig5 --jobs 4 --cache-dir .ibcc-cache   # parallel + cached
+    ibcc-repro faults --scale quick             # fault-scenario table
+    ibcc-repro table2 --chaos 7                 # seeded random faults
+    ibcc-repro table2 --faults flap.json        # explicit fault schedule
     python -m repro table2 --scale paper        # full 648-node run
 """
 
@@ -17,11 +20,44 @@ import os
 import sys
 
 from repro.experiments.config import SCALES
+from repro.experiments.fault_scenarios import run_fault_scenarios
 from repro.experiments.moving import run_moving_figure
 from repro.experiments.table2 import run_table2
 from repro.experiments.windy import run_windy_figure
 
 _WINDY_X = {"fig5": 0.25, "fig6": 0.50, "fig7": 0.75, "fig8": 1.00}
+
+_CHAOS_RATES = ("link_flap", "degrade", "cnp_drop", "timer_freeze", "switch_pause")
+_CHAOS_DEFAULT_RATE = 0.05
+
+
+def parse_chaos(text: str):
+    """Parse ``--chaos SEED[:kind=rate,...]`` into a :class:`ChaosSpec`.
+
+    Rates are expected faults per simulated millisecond. With no rates
+    given, every fault class runs at 0.05 per ms::
+
+        --chaos 7
+        --chaos 7:link_flap=0.1,cnp_drop=0.2
+
+    Raises ``ValueError`` on malformed input.
+    """
+    from repro.faults import ChaosSpec
+
+    seed_part, _, rates_part = text.partition(":")
+    seed = int(seed_part)
+    if not rates_part:
+        return ChaosSpec(seed=seed, **{k: _CHAOS_DEFAULT_RATE for k in _CHAOS_RATES})
+    rates = {}
+    for item in rates_part.split(","):
+        key, eq, val = item.partition("=")
+        if not eq or key not in _CHAOS_RATES:
+            raise ValueError(
+                f"bad chaos rate {item!r}; expected kind=rate with kind in "
+                f"{', '.join(_CHAOS_RATES)}"
+            )
+        rates[key] = float(val)
+    return ChaosSpec(seed=seed, **rates)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,8 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "artifact",
-        choices=["table2", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10"],
-        help="which paper artifact to regenerate",
+        choices=["table2", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b",
+                 "fig10", "faults"],
+        help=(
+            "which artifact to regenerate (faults = the fault-scenario "
+            "robustness table)"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -93,6 +133,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON run manifest (per-cell status/retries/timing)",
     )
     parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC.json",
+        help=(
+            "inject a fault schedule (FaultSchedule JSON, see "
+            "repro.faults) into every cell of the artifact"
+        ),
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SEED[:kind=rate,...]",
+        help=(
+            "inject seeded random faults into every cell; rates are "
+            "faults per simulated ms (default 0.05 for every class: "
+            "link_flap, degrade, cnp_drop, timer_freeze, switch_pause)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="MANIFEST",
+        help=(
+            "resume an interrupted campaign from its checkpointed run "
+            "manifest; completed cells are replayed from --cache-dir"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help=(
@@ -142,6 +210,28 @@ def main(argv=None) -> int:
     if cache is not None and os.path.exists(cache) and not os.path.isdir(cache):
         print(f"--cache-dir {cache!r} exists and is not a directory", file=sys.stderr)
         return 2
+    if args.faults is not None and args.chaos is not None:
+        print("--faults and --chaos are mutually exclusive", file=sys.stderr)
+        return 2
+    faults = None
+    if args.faults is not None:
+        from repro.faults import FaultSchedule
+
+        try:
+            faults = FaultSchedule.load(args.faults)
+        except (OSError, ValueError) as exc:
+            print(f"--faults {args.faults!r}: {exc}", file=sys.stderr)
+            return 2
+    elif args.chaos is not None:
+        try:
+            faults = parse_chaos(args.chaos)
+        except ValueError as exc:
+            print(f"--chaos {args.chaos!r}: {exc}", file=sys.stderr)
+            return 2
+    if args.artifact == "faults" and faults is not None:
+        print("the faults artifact has built-in scenarios; "
+              "--faults/--chaos apply to the other artifacts", file=sys.stderr)
+        return 2
     run_fn = None
     if args.trace:
         from repro.experiments.runner import TracedRun
@@ -156,7 +246,10 @@ def main(argv=None) -> int:
         reporter=reporter,
         manifest_path=args.manifest,
         run_fn=run_fn,
+        resume_from=args.resume,
     )
+    if args.artifact != "faults":
+        campaign_kw["faults"] = faults
 
     traced_results = []
     if args.artifact == "table2":
@@ -223,6 +316,10 @@ def main(argv=None) -> int:
                 x_label="hotspot lifetime (ms)",
                 y_label="all-node rcv (Gbit/s)",
             ))
+    elif args.artifact == "faults":
+        table = run_fault_scenarios(scale, seed=args.seed, **campaign_kw)
+        traced_results = [r for row in table.rows for r in (row.off, row.on)]
+        print(table.format())
     if args.trace and traced_results:
         if _trace_report(traced_results, sys.stderr):
             print("trace audit FAILED: invariant violations detected",

@@ -14,6 +14,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.core.parameters import CCParams
+from repro.faults.spec import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -112,6 +113,11 @@ class ExperimentConfig:
     sim_time_ns: Optional[float] = None
     warmup_ns: Optional[float] = None
     name: str = ""
+    # Fault plan (repro.faults): a FaultSchedule or ChaosSpec, or None
+    # for a clean run. Part of the config, so it participates in the
+    # result-store content key — a faulted run never aliases a clean
+    # cache entry.
+    faults: Optional[FaultPlan] = None
 
     def resolved_cc_params(self) -> CCParams:
         """The effective CC parameters (explicit override or scale defaults)."""

@@ -102,6 +102,8 @@ def run_moving_figure(
     reporter=None,
     manifest_path: str | None = None,
     run_fn=None,
+    faults=None,
+    resume_from=None,
 ) -> MovingFigure:
     """A lifetime sweep.
 
@@ -132,6 +134,7 @@ def run_moving_figure(
             hotspot_lifetime_ns=lt,
             seed=seed,
             name=f"moving-life{lt / 1e6:.0f}ms",
+            faults=faults,
         )
         configs.append(cfg.with_(cc=False))
         configs.append(cfg.with_(cc=True))
@@ -144,6 +147,7 @@ def run_moving_figure(
         progress=reporter,
         manifest_path=manifest_path,
         run_fn=run_fn,
+        resume_from=resume_from,
     ).raise_on_failure()
     results = campaign.results
     points = [

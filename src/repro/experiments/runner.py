@@ -11,6 +11,9 @@ from repro.core.manager import CCManager
 from repro.engine.rng import RngRegistry
 from repro.engine.simulator import Simulator
 from repro.experiments.config import ExperimentConfig
+from repro.faults.chaos import chaos_schedule
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import ChaosSpec
 from repro.metrics.analysis import group_rates, jain_fairness, tmax_gbps
 from repro.metrics.collector import Collector
 from repro.network.hca import HcaConfig
@@ -42,6 +45,11 @@ class ExperimentResult:
     trace_digest: Optional[str] = None
     trace_violations: int = 0
     trace_records: int = 0
+    # Filled only for faulted runs (cfg.faults, repro.faults).
+    fault_onsets: int = 0
+    fault_recoveries: int = 0
+    dropped_packets: int = 0
+    cnps_dropped: int = 0
 
     @property
     def non_hotspot(self) -> float:
@@ -124,6 +132,12 @@ def config_slug(cfg: ExperimentConfig) -> str:
     ]
     if not cfg.contributors_active:
         parts.append("silent")
+    plan = cfg.faults
+    if plan is not None and not plan.empty:
+        if isinstance(plan, ChaosSpec):
+            parts.append(f"chaos{plan.seed}")
+        else:
+            parts.append(f"faults{len(plan)}")
     return "-".join(parts)
 
 
@@ -175,6 +189,20 @@ def run_experiment(
             strict=spec.strict,
             ccti_limit=cfg.resolved_cc_params().ccti_limit,
         ).install(sim, network, manager)
+
+    injector = None
+    plan = cfg.faults
+    if plan is not None:
+        if isinstance(plan, ChaosSpec):
+            fault_schedule = chaos_schedule(
+                plan, topology=topo, sim_time_ns=sim_time
+            )
+        else:
+            fault_schedule = plan
+        if not fault_schedule.empty:
+            # An empty schedule installs nothing, keeping the event
+            # stream byte-identical to a fault-free run.
+            injector = FaultInjector(network, fault_schedule, rng=rng).install()
 
     schedule = HotspotSchedule.choose_initial(
         cfg.scale.n_hotspots,
@@ -230,6 +258,10 @@ def run_experiment(
         trace_digest=session.digest if session else None,
         trace_violations=session.violation_count if session else 0,
         trace_records=session.records_emitted if session else 0,
+        fault_onsets=injector.onsets_applied if injector else 0,
+        fault_recoveries=injector.recoveries_applied if injector else 0,
+        dropped_packets=injector.dropped_packets() if injector else 0,
+        cnps_dropped=injector.cnps_dropped() if injector else 0,
     )
 
 

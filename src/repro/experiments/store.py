@@ -4,6 +4,13 @@ Experiment points are expensive (minutes at paper scale), so the store
 lets drivers cache results keyed by their full configuration and reload
 them across sessions — e.g. to assemble EXPERIMENTS.md incrementally or
 to re-plot without re-simulating.
+
+Crash safety: every write goes to a temporary file in the same
+directory and is moved into place with ``os.replace`` — a killed
+process can never leave a truncated JSON file under a result key. If a
+corrupt entry is found anyway (pre-hardening files, disk faults), the
+load treats it as a cache miss: the bad file is moved aside to a
+``.corrupt`` sidecar (preserved for inspection) and the cell re-runs.
 """
 
 from __future__ import annotations
@@ -11,12 +18,52 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 from typing import Optional
 
 from repro.core.parameters import CCParams
 from repro.experiments.config import SCALES, ExperimentConfig, ScaleProfile
 from repro.experiments.runner import ExperimentResult
+from repro.faults.spec import faults_from_dict, faults_to_dict
+
+_log = logging.getLogger(__name__)
+
+
+def atomic_write_json(path: str, data) -> None:
+    """Write JSON to ``path`` atomically (tmp file + ``os.replace``)."""
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(data, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def quarantine(path: str) -> str:
+    """Move a corrupt file aside; returns the sidecar path."""
+    sidecar = path + ".corrupt"
+    try:
+        os.replace(path, sidecar)
+    except OSError:  # pragma: no cover - racing cleanup is benign
+        pass
+    return sidecar
+
+
+def load_json_or_quarantine(path: str) -> Optional[dict]:
+    """Parse a JSON file; on corruption, quarantine it and return None."""
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return None
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        sidecar = quarantine(path)
+        _log.warning(
+            "corrupt store entry %s (%s); quarantined to %s, treating as miss",
+            path, exc, sidecar,
+        )
+        return None
 
 
 def config_to_dict(cfg: ExperimentConfig) -> dict:
@@ -25,6 +72,12 @@ def config_to_dict(cfg: ExperimentConfig) -> dict:
     out["scale"] = dataclasses.asdict(cfg.scale)
     if cfg.cc_params is not None:
         out["cc_params"] = dataclasses.asdict(cfg.cc_params)
+    # Fault-free configs omit the key entirely so their content hashes
+    # (and any results stored before the fault layer existed) are
+    # unchanged.
+    out.pop("faults", None)
+    if cfg.faults is not None:
+        out["faults"] = faults_to_dict(cfg.faults)
     return out
 
 
@@ -52,6 +105,10 @@ def result_to_dict(res: ExperimentResult) -> dict:
         "trace_digest": res.trace_digest,
         "trace_violations": res.trace_violations,
         "trace_records": res.trace_records,
+        "fault_onsets": res.fault_onsets,
+        "fault_recoveries": res.fault_recoveries,
+        "dropped_packets": res.dropped_packets,
+        "cnps_dropped": res.cnps_dropped,
     }
 
 
@@ -63,9 +120,11 @@ def result_from_dict(data: dict) -> ExperimentResult:
         for k, v in cfg_data.pop("scale").items()
     })
     cc_params = cfg_data.pop("cc_params", None)
+    faults = faults_from_dict(cfg_data.pop("faults", None))
     cfg = ExperimentConfig(
         scale=scale,
         cc_params=CCParams(**cc_params) if cc_params else None,
+        faults=faults,
         **cfg_data,
     )
     return ExperimentResult(
@@ -85,6 +144,11 @@ def result_from_dict(data: dict) -> ExperimentResult:
         trace_digest=data.get("trace_digest"),
         trace_violations=data.get("trace_violations", 0),
         trace_records=data.get("trace_records", 0),
+        # Absent in results stored before the fault layer existed.
+        fault_onsets=data.get("fault_onsets", 0),
+        fault_recoveries=data.get("fault_recoveries", 0),
+        dropped_packets=data.get("dropped_packets", 0),
+        cnps_dropped=data.get("cnps_dropped", 0),
     )
 
 
@@ -99,19 +163,30 @@ class ResultStore:
         return os.path.join(self.directory, f"{config_key(cfg)}.json")
 
     def save(self, res: ExperimentResult) -> str:
-        """Write the result's JSON file; returns its path."""
+        """Write the result's JSON file atomically; returns its path."""
         path = self._path(res.config)
-        with open(path, "w") as fh:
-            json.dump(result_to_dict(res), fh)
+        atomic_write_json(path, result_to_dict(res))
         return path
 
     def load(self, cfg: ExperimentConfig) -> Optional[ExperimentResult]:
-        """Load the cached result for ``cfg``, or None if absent."""
+        """Load the cached result for ``cfg``, or None if absent.
+
+        A corrupt entry is quarantined and treated as a miss rather
+        than poisoning the whole campaign.
+        """
         path = self._path(cfg)
-        if not os.path.exists(path):
+        data = load_json_or_quarantine(path)
+        if data is None:
             return None
-        with open(path) as fh:
-            return result_from_dict(json.load(fh))
+        try:
+            return result_from_dict(data)
+        except (KeyError, TypeError, ValueError) as exc:
+            sidecar = quarantine(path)
+            _log.warning(
+                "malformed store entry %s (%s); quarantined to %s",
+                path, exc, sidecar,
+            )
+            return None
 
     def __contains__(self, cfg: ExperimentConfig) -> bool:
         """Whether a result for ``cfg`` is already stored."""

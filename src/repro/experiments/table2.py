@@ -74,6 +74,8 @@ def run_table2(
     reporter=None,
     manifest_path: str | None = None,
     run_fn=None,
+    faults=None,
+    resume_from=None,
 ) -> Table2Result:
     """Run the four phases of Table II at the given scale.
 
@@ -86,14 +88,18 @@ def run_table2(
     :class:`~repro.experiments.runner.TracedRun` to capture trace
     digests. A phase that fails after its retries raises
     :class:`~repro.parallel.pool.CampaignError` — Table II needs all
-    four rows.
+    four rows. ``faults`` applies one fault plan
+    (:class:`~repro.faults.FaultSchedule` or
+    :class:`~repro.faults.ChaosSpec`) to every phase;
+    ``resume_from`` replays a checkpointed run manifest.
     """
     from repro.parallel import run_campaign
 
     if isinstance(scale, str):
         scale = SCALES[scale]
     base = ExperimentConfig(
-        scale=scale, b_fraction=0.0, c_fraction_of_rest=0.8, seed=seed, name="table2"
+        scale=scale, b_fraction=0.0, c_fraction_of_rest=0.8, seed=seed, name="table2",
+        faults=faults,
     )
     configs = [
         base.with_(cc=False, contributors_active=False),
@@ -110,6 +116,7 @@ def run_table2(
         progress=reporter,
         manifest_path=manifest_path,
         run_fn=run_fn,
+        resume_from=resume_from,
     ).raise_on_failure()
     baseline_no_cc, baseline_cc, hotspots_no_cc, hotspots_cc = campaign.results
     return Table2Result(

@@ -112,6 +112,8 @@ def run_windy_figure(
     reporter=None,
     manifest_path: str | None = None,
     run_fn=None,
+    faults=None,
+    resume_from=None,
 ) -> WindyFigure:
     """A whole figure's sweep: figures 5 (x=.25) through 8 (x=1.0).
 
@@ -135,6 +137,7 @@ def run_windy_figure(
             c_fraction_of_rest=0.8,
             seed=seed,
             name=f"windy-x{b_fraction:.2f}-p{p:.2f}",
+            faults=faults,
         )
         configs.append(cfg.with_(cc=False))
         configs.append(cfg.with_(cc=True))
@@ -147,6 +150,7 @@ def run_windy_figure(
         progress=reporter,
         manifest_path=manifest_path,
         run_fn=run_fn,
+        resume_from=resume_from,
     ).raise_on_failure()
     results = campaign.results
     points = [

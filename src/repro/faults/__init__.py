@@ -1,0 +1,34 @@
+"""Deterministic fault injection for the simulated fabric.
+
+Declarative fault plans (:class:`FaultSpec` / :class:`FaultSchedule` /
+seedable :class:`ChaosSpec`) are applied to a live network by the
+:class:`FaultInjector`, which routes every onset and recovery through
+the simulator's event queue — faulted runs are exactly as reproducible
+as clean ones, and an empty plan leaves the event stream byte-identical
+to no injector at all.
+"""
+
+from repro.faults.chaos import chaos_schedule
+from repro.faults.injector import CnpFaultFilter, FaultInjector
+from repro.faults.spec import (
+    ALL_KINDS,
+    ChaosSpec,
+    FaultPlan,
+    FaultSchedule,
+    FaultSpec,
+    faults_from_dict,
+    faults_to_dict,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "ChaosSpec",
+    "CnpFaultFilter",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSchedule",
+    "FaultSpec",
+    "chaos_schedule",
+    "faults_from_dict",
+    "faults_to_dict",
+]

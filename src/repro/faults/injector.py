@@ -1,0 +1,235 @@
+"""Event-time fault injection: apply a :class:`FaultSchedule` to a run.
+
+The :class:`FaultInjector` turns each declarative
+:class:`~repro.faults.spec.FaultSpec` into ordinary simulator events:
+one onset event at ``at_ns`` and, for windowed faults, one recovery
+event at ``at_ns + duration_ns``. Faults therefore interleave with
+traffic in deterministic ``(time, sequence)`` order exactly like every
+other event — a faulted run is as reproducible as a clean one, and an
+*empty* schedule leaves the event stream byte-identical to an
+uninstalled injector (nothing is scheduled, no RNG stream is drawn, no
+component hook is touched).
+
+Every applied transition emits a ``fault`` trace record *before* the
+action takes effect, so the online auditor
+(:class:`repro.trace.auditor.TraceAuditor`) always learns about a link
+going down before any transmission could violate it, and about a link
+coming back up before ``recover()`` restarts the port.
+
+CNP faults install a :class:`CnpFaultFilter` on the targeted HCAs at
+:meth:`FaultInjector.install` time; window onsets then only flip the
+filter's parameters. The filter's randomness comes from per-node keyed
+streams of the run's :class:`~repro.engine.rng.RngRegistry`
+(``("faults", "cnp", node)``), so existing streams are never perturbed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.spec import FaultSchedule, FaultSpec
+from repro.network.ports import LinkConfig, OutputPort
+
+
+class CnpFaultFilter:
+    """Per-HCA CNP fault stage: drop / delay / duplicate notifications.
+
+    Installed on ``hca.cnp_fault``; :meth:`on_cnp` replaces the direct
+    emission path of :meth:`repro.network.hca.Hca.send_cnp`. All
+    parameters default to inactive (the filter then behaves exactly
+    like the unfiltered path, modulo its presence on the attribute);
+    the injector toggles them at window edges.
+    """
+
+    __slots__ = (
+        "rng",
+        "drop_prob",
+        "delay_ns",
+        "dup_prob",
+        "cnps_dropped",
+        "cnps_delayed",
+        "cnps_duplicated",
+    )
+
+    def __init__(self, rng=None) -> None:
+        self.rng = rng
+        self.drop_prob = 0.0
+        self.delay_ns = 0.0
+        self.dup_prob = 0.0
+        self.cnps_dropped = 0
+        self.cnps_delayed = 0
+        self.cnps_duplicated = 0
+
+    def on_cnp(self, hca, dst: int) -> None:
+        """Filter one notification ``hca`` wants to return to ``dst``."""
+        if self.drop_prob > 0.0 and self.rng.random() < self.drop_prob:
+            self.cnps_dropped += 1
+            trace = hca.trace
+            if trace is not None:
+                trace.drop(
+                    hca.sim.now, "h", hca.node_id, 0, hca.config.cnp_vl,
+                    hca.node_id, dst, 0, 1, "cnp",
+                )
+            return
+        if self.dup_prob > 0.0 and self.rng.random() < self.dup_prob:
+            self.cnps_duplicated += 1
+            hca._emit_cnp(dst)
+        if self.delay_ns > 0.0:
+            self.cnps_delayed += 1
+            hca.sim.schedule(self.delay_ns, hca._emit_cnp, dst)
+        else:
+            hca._emit_cnp(dst)
+
+
+class FaultInjector:
+    """Schedules and applies one :class:`FaultSchedule` on a network."""
+
+    __slots__ = (
+        "network",
+        "sim",
+        "schedule",
+        "_rng",
+        "filters",
+        "_orig_links",
+        "onsets_applied",
+        "recoveries_applied",
+    )
+
+    def __init__(self, network, schedule: FaultSchedule, *, rng=None) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.schedule = schedule
+        self._rng = rng
+        # node_id -> CnpFaultFilter, for HCAs targeted by any cnp_* spec.
+        self.filters: Dict[int, CnpFaultFilter] = {}
+        # (kind, node, port) -> LinkConfig before the first active degrade.
+        self._orig_links: Dict[Tuple[str, int, int], LinkConfig] = {}
+        self.onsets_applied = 0
+        self.recoveries_applied = 0
+
+    # -- wiring --------------------------------------------------------
+    def install(self) -> "FaultInjector":
+        """Schedule every spec's onset/recovery; install CNP filters.
+
+        A no-op for an empty schedule: nothing enters the event heap
+        and no component attribute is touched.
+        """
+        for spec in self.schedule:
+            if spec.kind.startswith("cnp_"):
+                for hca in self._target_hcas(spec):
+                    if hca.cnp_fault is None:
+                        rng = None
+                        if self._rng is not None:
+                            rng = self._rng.stream("faults", "cnp", hca.node_id)
+                        hca.cnp_fault = CnpFaultFilter(rng)
+                    self.filters[hca.node_id] = hca.cnp_fault
+            self.sim.schedule_at(spec.at_ns, self._apply, spec)
+            ends = spec.ends_at_ns
+            if ends is not None:
+                self.sim.schedule_at(ends, self._recover, spec)
+        return self
+
+    # -- target resolution ---------------------------------------------
+    def _port(self, spec: FaultSpec) -> Tuple[OutputPort, str, int, int]:
+        """The output port a link fault addresses: (port, kind, node, idx)."""
+        if spec.node >= 0:
+            return self.network.hcas[spec.node].obuf, "h", spec.node, 0
+        sw = self.network.switches[spec.switch]
+        return sw.output_ports[spec.port], "s", spec.switch, spec.port
+
+    def _target_hcas(self, spec: FaultSpec) -> List:
+        """The HCAs an HCA-side fault addresses (-1 = every HCA)."""
+        if spec.node >= 0:
+            return [self.network.hcas[spec.node]]
+        return list(self.network.hcas)
+
+    def _record(self, action: str, kind: str, node: int, port: int, value: float = 0.0) -> None:
+        tracer = self.sim.trace
+        if tracer is not None:
+            tracer.fault(self.sim.now, action, kind, node, port, value)
+
+    # -- onset ---------------------------------------------------------
+    def _apply(self, spec: FaultSpec) -> None:
+        self.onsets_applied += 1
+        kind = spec.kind
+        if kind == "link_down":
+            port, k, node, idx = self._port(spec)
+            self._record("link_down", k, node, idx)
+            port.fail()
+        elif kind == "degrade":
+            port, k, node, idx = self._port(spec)
+            key = (k, node, idx)
+            if key not in self._orig_links:
+                self._orig_links[key] = port.link
+            orig = self._orig_links[key]
+            self._record("degrade", k, node, idx, spec.value)
+            port.link = LinkConfig(orig.rate_gbps * spec.value, port.link.prop_delay_ns)
+        elif kind == "switch_pause":
+            self._record("switch_pause", "s", spec.switch, -1)
+            for out in self.network.switches[spec.switch].output_ports:
+                out.pause()
+        elif kind == "timer_freeze":
+            for hca in self._target_hcas(spec):
+                if hca.cc is not None:
+                    self._record("timer_freeze", "h", hca.node_id, -1)
+                    hca.cc.freeze()
+        else:  # cnp_drop / cnp_delay / cnp_dup
+            for hca in self._target_hcas(spec):
+                self._record(kind, "h", hca.node_id, -1, spec.value)
+                self._set_cnp_param(hca.cnp_fault, kind, spec.value)
+
+    # -- recovery ------------------------------------------------------
+    def _recover(self, spec: FaultSpec) -> None:
+        self.recoveries_applied += 1
+        kind = spec.kind
+        if kind == "link_down":
+            port, k, node, idx = self._port(spec)
+            # Record first: recover() may restart transmission in this
+            # same event, and the auditor must already know the link is up.
+            self._record("link_up", k, node, idx)
+            port.recover()
+        elif kind == "degrade":
+            port, k, node, idx = self._port(spec)
+            orig = self._orig_links.pop((k, node, idx), None)
+            self._record("restore", k, node, idx)
+            if orig is not None:
+                port.link = LinkConfig(orig.rate_gbps, port.link.prop_delay_ns)
+        elif kind == "switch_pause":
+            self._record("switch_resume", "s", spec.switch, -1)
+            for out in self.network.switches[spec.switch].output_ports:
+                out.recover()
+        elif kind == "timer_freeze":
+            for hca in self._target_hcas(spec):
+                if hca.cc is not None:
+                    self._record("timer_thaw", "h", hca.node_id, -1)
+                    hca.cc.thaw()
+        else:  # cnp_* window closes
+            for hca in self._target_hcas(spec):
+                self._record(kind + "_end", "h", hca.node_id, -1)
+                self._set_cnp_param(hca.cnp_fault, kind, 0.0)
+
+    @staticmethod
+    def _set_cnp_param(filt: Optional[CnpFaultFilter], kind: str, value: float) -> None:
+        if filt is None:
+            return
+        if kind == "cnp_drop":
+            filt.drop_prob = value
+        elif kind == "cnp_delay":
+            filt.delay_ns = value
+        elif kind == "cnp_dup":
+            filt.dup_prob = value
+
+    # -- introspection -------------------------------------------------
+    def dropped_packets(self) -> int:
+        """Packets lost on downed links, network-wide."""
+        total = sum(
+            out.dropped_packets
+            for sw in self.network.switches
+            for out in sw.output_ports
+        )
+        total += sum(h.obuf.dropped_packets for h in self.network.hcas)
+        return total
+
+    def cnps_dropped(self) -> int:
+        """Notifications suppressed by CNP fault filters."""
+        return sum(f.cnps_dropped for f in self.filters.values())

@@ -1,0 +1,249 @@
+"""Declarative fault specifications.
+
+A :class:`FaultSpec` names one fabric-level event — *what* goes wrong,
+*where*, *when*, and for *how long*. A :class:`FaultSchedule` is an
+ordered collection of specs; a :class:`ChaosSpec` is the compact,
+seedable alternative that expands into a concrete schedule
+deterministically (:func:`repro.faults.chaos.chaos_schedule`).
+
+All three are frozen dataclasses of scalars: picklable (they ride into
+pool workers inside an :class:`~repro.experiments.config.ExperimentConfig`),
+hashable, and JSON round-trippable (``--faults SPEC.json``). Because a
+schedule is part of the experiment configuration, it participates in
+the result-store content key — a faulted run never aliases a fault-free
+cache entry.
+
+Fault kinds
+-----------
+
+==================  ====================================================
+kind                semantics
+==================  ====================================================
+``link_down``       the directed link transmitted by the target output
+                    port goes dark: no new transmissions start, and the
+                    packet being serialized when the link dies is lost
+                    on the wire (packets already propagating still
+                    deliver). ``duration_ns > 0`` brings the link back
+                    up — a *flap* — re-syncing flow-control credits as
+                    a real link retrain does.
+``degrade``         the target link's rate is scaled by ``value``
+                    (frequency/voltage scaling, a faulty cable);
+                    ``duration_ns > 0`` restores the original rate.
+``cnp_drop``        while active, each CNP the target HCA would return
+                    is dropped with probability ``value`` — lossy
+                    control signaling.
+``cnp_delay``       while active, CNPs from the target HCA are delayed
+                    by ``value`` ns before entering the output buffer.
+``cnp_dup``         while active, each CNP is duplicated with
+                    probability ``value`` (spurious notification
+                    retransmits).
+``timer_freeze``    the target HCA's CC recovery timer stops
+                    decrementing CCT indices — throttled flows stay
+                    throttled for the window.
+``switch_pause``    every output port of the target switch stops
+                    transmitting (a blinking switch); in-flight packets
+                    complete, nothing is dropped, backpressure builds.
+==================  ====================================================
+
+Targets: link faults address an output port — either a switch port
+(``switch``/``port``) or an HCA's uplink (``node``). HCA faults
+(``cnp_*``, ``timer_freeze``) address ``node``, or every HCA when
+``node`` is -1. ``switch_pause`` addresses ``switch``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterator, Optional, Tuple, Union
+
+#: Fault kinds targeting one directed link (an output port).
+LINK_KINDS = ("link_down", "degrade")
+#: Fault kinds targeting HCA-side CC machinery.
+HCA_KINDS = ("cnp_drop", "cnp_delay", "cnp_dup", "timer_freeze")
+#: Fault kinds targeting a whole switch.
+SWITCH_KINDS = ("switch_pause",)
+
+ALL_KINDS = LINK_KINDS + HCA_KINDS + SWITCH_KINDS
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fabric fault (see module docstring for kinds).
+
+    ``duration_ns == 0`` means the fault persists to the end of the
+    run (no recovery event is scheduled). ``-1`` marks an unused or
+    wildcard target field.
+    """
+
+    kind: str
+    at_ns: float
+    duration_ns: float = 0.0
+    switch: int = -1
+    port: int = -1
+    node: int = -1
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at_ns < 0:
+            raise ValueError("at_ns must be non-negative")
+        if self.duration_ns < 0:
+            raise ValueError("duration_ns must be non-negative")
+        if self.kind in LINK_KINDS:
+            has_switch_port = self.switch >= 0 and self.port >= 0
+            has_node = self.node >= 0
+            if has_switch_port == has_node:
+                raise ValueError(
+                    f"{self.kind} needs either (switch, port) or node, "
+                    "not both and not neither"
+                )
+        if self.kind in SWITCH_KINDS and self.switch < 0:
+            raise ValueError(f"{self.kind} needs a switch target")
+        if self.kind == "degrade" and not 0.0 < self.value <= 1.0:
+            raise ValueError("degrade value (rate factor) must be in (0, 1]")
+        if self.kind in ("cnp_drop", "cnp_dup") and not 0.0 <= self.value <= 1.0:
+            raise ValueError(f"{self.kind} value (probability) must be in [0, 1]")
+        if self.kind == "cnp_delay" and self.value < 0:
+            raise ValueError("cnp_delay value (ns) must be non-negative")
+
+    @property
+    def ends_at_ns(self) -> Optional[float]:
+        """When recovery fires, or None for a permanent fault."""
+        return self.at_ns + self.duration_ns if self.duration_ns > 0 else None
+
+    # -- convenience constructors ---------------------------------------
+    @classmethod
+    def link_flap(
+        cls,
+        at_ns: float,
+        duration_ns: float,
+        *,
+        switch: int = -1,
+        port: int = -1,
+        node: int = -1,
+    ) -> "FaultSpec":
+        """A link that dies at ``at_ns`` and retrains ``duration_ns`` later."""
+        if duration_ns <= 0:
+            raise ValueError("a flap needs a positive duration")
+        return cls("link_down", at_ns, duration_ns, switch=switch, port=port, node=node)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, immutable collection of :class:`FaultSpec` actions."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Tolerate lists/generators at construction; store a tuple so
+        # the schedule stays hashable and frozen.
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+
+    @property
+    def empty(self) -> bool:
+        return not self.specs
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def extended(self, *specs: FaultSpec) -> "FaultSchedule":
+        """A new schedule with ``specs`` appended."""
+        return FaultSchedule(self.specs + tuple(specs))
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"type": "schedule", "specs": [s.to_dict() for s in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSchedule":
+        return cls(tuple(FaultSpec.from_dict(s) for s in data.get("specs", ())))
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return faults_from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "FaultSchedule":
+        """Read a schedule from a ``--faults`` JSON file."""
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A seedable description of a *randomized* fault schedule.
+
+    Each rate is the expected number of fault events of that class per
+    millisecond of simulated time; the concrete events (times, targets,
+    durations, intensities) are drawn by
+    :func:`repro.faults.chaos.chaos_schedule` from a PRNG seeded only
+    by ``seed`` — the same spec over the same topology and duration
+    always expands to the identical schedule, so chaos runs are
+    reproducible, digest-stable, and cacheable.
+    """
+
+    seed: int
+    link_flap: float = 0.0
+    degrade: float = 0.0
+    cnp_drop: float = 0.0
+    timer_freeze: float = 0.0
+    switch_pause: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("link_flap", "degrade", "cnp_drop", "timer_freeze", "switch_pause"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"chaos rate {name} must be non-negative")
+
+    @property
+    def empty(self) -> bool:
+        return not any(
+            (self.link_flap, self.degrade, self.cnp_drop,
+             self.timer_freeze, self.switch_pause)
+        )
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["type"] = "chaos"
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosSpec":
+        data = {k: v for k, v in data.items() if k != "type"}
+        return cls(**data)
+
+
+#: What an ExperimentConfig's ``faults`` field may hold.
+FaultPlan = Union[FaultSchedule, ChaosSpec]
+
+
+def faults_to_dict(plan: Optional[FaultPlan]) -> Optional[dict]:
+    """Serialize a fault plan (or None) for config/result JSON."""
+    return None if plan is None else plan.to_dict()
+
+
+def faults_from_dict(data: Optional[dict]) -> Optional[FaultPlan]:
+    """Rebuild a fault plan from :func:`faults_to_dict` output."""
+    if data is None:
+        return None
+    kind = data.get("type")
+    if kind == "chaos":
+        return ChaosSpec.from_dict(data)
+    if kind == "schedule":
+        return FaultSchedule.from_dict(data)
+    raise ValueError(f"unknown fault plan type {kind!r}")

@@ -33,6 +33,20 @@ def degrade_link(network, switch_id: int, port: int, factor: float) -> float:
     return new_rate
 
 
+def restore_link(network, switch_id: int, port: int) -> float:
+    """Undo :func:`degrade_link`: reset the port to the configured rate.
+
+    Returns the restored rate in Gbit/s. Restoring a never-degraded
+    port is a no-op (the configured rate is re-applied). In-flight
+    packets keep the timing they started with, mirroring
+    :func:`degrade_link`.
+    """
+    out = network.switches[switch_id].output_ports[port]
+    base = network.config.link
+    out.link = LinkConfig(base.rate_gbps, out.link.prop_delay_ns)
+    return base.rate_gbps
+
+
 def degrade_uplink_between(network, leaf: int, spine: int, factor: float) -> Tuple[int, int]:
     """Degrade the leaf->spine direction of a folded-Clos uplink.
 

@@ -146,6 +146,7 @@ class Hca:
         "cc",
         "metrics",
         "trace",
+        "cnp_fault",
         "_wake_id",
         "_pulling",
         "_max_wire",
@@ -178,6 +179,7 @@ class Hca:
         self.cc = None  # HcaCC, installed by the CC manager
         self.metrics = None  # collector (repro.metrics), or None
         self.trace = None  # tracer (repro.trace), or None
+        self.cnp_fault = None  # CnpFaultFilter (repro.faults), or None
         self._wake_id: Optional[int] = None
         self._pulling = False
         self._max_wire = config.mtu + config.header_bytes
@@ -271,8 +273,17 @@ class Hca:
 
         CNPs bypass generator budgets and CC throttling and jump the
         output queue, per the spec's requirement that notifications be
-        returned "as quickly as possible".
+        returned "as quickly as possible". An installed fault filter
+        (:mod:`repro.faults`) may drop, delay, or duplicate the
+        notification instead.
         """
+        if self.cnp_fault is not None:
+            self.cnp_fault.on_cnp(self, dst)
+            return
+        self._emit_cnp(dst)
+
+    def _emit_cnp(self, dst: int) -> None:
+        """Build and expedite the CNP itself (past any fault filter)."""
         pkt = Packet.cnp(self.node_id, dst, vl=self.config.cnp_vl)
         pkt.t_inject = self.sim.now
         self.cnps_sent += 1

@@ -83,6 +83,11 @@ class OutputPort:
         "trace",
         "trace_kind",
         "trace_node",
+        "halted",
+        "lossy",
+        "dropped_packets",
+        "dropped_bytes",
+        "_lost_credits",
         "_rr_vl",
         "_n_vls",
     )
@@ -118,6 +123,17 @@ class OutputPort:
         self.trace = None
         self.trace_kind = ""
         self.trace_node = -1
+        # Fault state (repro.faults): ``halted`` blocks new
+        # transmissions (link down or switch pause); ``lossy``
+        # additionally loses the packet on the wire when its
+        # serialization completes (link down only).
+        self.halted = False
+        self.lossy = False
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        # Credits consumed by packets lost while the link was down;
+        # refunded on recovery, modelling the retrain's credit re-sync.
+        self._lost_credits: List[float] = [0.0] * n_vls
         self._rr_vl = 0
         self._n_vls = n_vls
 
@@ -163,7 +179,7 @@ class OutputPort:
         head packet fits its credits; a credit-starved VL never blocks
         the others.
         """
-        if self.busy:
+        if self.busy or self.halted:
             return
         queues = self.queues
         credits = self.credits
@@ -205,7 +221,52 @@ class OutputPort:
 
     def _tx_done(self, pkt: Packet) -> None:
         self.busy = False
-        self.sim.schedule(self.link.prop_delay_ns, self.peer.deliver, pkt)
+        if self.lossy:
+            self._drop(pkt)
+        else:
+            self.sim.schedule(self.link.prop_delay_ns, self.peer.deliver, pkt)
+        self.try_send()
+
+    # -- fault injection (repro.faults) ---------------------------------
+    def _drop(self, pkt: Packet) -> None:
+        """Lose ``pkt`` on the wire (its credits refund on recovery)."""
+        wire = pkt.wire_size
+        self.dropped_packets += 1
+        self.dropped_bytes += wire
+        self._lost_credits[pkt.vl] += wire
+        trace = self.trace
+        if trace is not None:
+            trace.drop(
+                self.sim.now, self.trace_kind, self.trace_node,
+                self.port_index, pkt.vl, pkt.src, pkt.dst, pkt.payload,
+                1 if pkt.is_control else 0, "link",
+            )
+
+    def fail(self) -> None:
+        """Take the link down: no new transmissions, in-flight tx lost."""
+        self.halted = True
+        self.lossy = True
+
+    def pause(self) -> None:
+        """Stop transmitting without loss (in-flight packets deliver)."""
+        self.halted = True
+
+    def recover(self) -> None:
+        """Bring the link back: refund lost credits, resume transmit.
+
+        A real link retrain re-initializes link-level flow control; we
+        model that exactly by refunding the credits consumed by packets
+        that were lost while the link was down — never more, so the
+        downstream buffer can never be over-committed.
+        """
+        self.halted = False
+        self.lossy = False
+        lost = self._lost_credits
+        credits = self.credits
+        for vl, nbytes in enumerate(lost):
+            if nbytes:
+                credits[vl] += nbytes
+                lost[vl] = 0.0
         self.try_send()
 
 

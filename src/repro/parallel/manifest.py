@@ -5,13 +5,20 @@ what survives the run: one record per cell (config key, terminal
 status, attempts, wall time, error text for failures) plus campaign
 totals. A resumed campaign can diff its grid against a manifest, and a
 failed cell surfaces here as data instead of crashing the whole run.
+
+The executor flushes the manifest incrementally (atomically, via a
+temp file + ``os.replace``) as cells complete, so a killed campaign
+leaves a valid, resumable manifest: ``complete`` is False, interrupted
+cells carry status ``"interrupted"``, and
+``run_campaign(resume_from=path)`` picks up where the run stopped.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 
 @dataclass
@@ -21,7 +28,7 @@ class CellRecord:
     index: int
     key: str
     name: str
-    status: str  # "ok" | "cached" | "failed"
+    status: str  # "ok" | "cached" | "failed" | "interrupted"
     attempts: int
     wall_seconds: float
     error: Optional[str] = None
@@ -40,9 +47,13 @@ class RunManifest:
     ok: int = 0
     cache_hits: int = 0
     failures: int = 0
+    interrupted: int = 0
     retries: int = 0
     worker_seconds: float = 0.0
     elapsed_seconds: float = 0.0
+    # False while the campaign is still running (checkpoint flushes)
+    # or when it was interrupted; True only for a finished campaign.
+    complete: bool = True
     cells: List[CellRecord] = field(default_factory=list)
 
     @classmethod
@@ -54,10 +65,15 @@ class RunManifest:
         retries: int = 0,
         elapsed_seconds: float = 0.0,
     ) -> "RunManifest":
-        """Build the manifest from a campaign's cell outcomes."""
+        """Build the manifest from a campaign's cell outcomes.
+
+        ``None`` entries (cells with no terminal state yet, as during a
+        checkpoint flush) are skipped.
+        """
         manifest = cls(jobs=jobs, retries=retries, elapsed_seconds=elapsed_seconds)
         for out in outcomes:
-            manifest.add(out)
+            if out is not None:
+                manifest.add(out)
         return manifest
 
     def add(self, outcome) -> None:
@@ -67,6 +83,8 @@ class RunManifest:
             self.cache_hits += 1
         elif outcome.status == "failed":
             self.failures += 1
+        elif outcome.status == "interrupted":
+            self.interrupted += 1
         else:
             self.ok += 1
         self.worker_seconds += outcome.wall_seconds
@@ -86,6 +104,10 @@ class RunManifest:
     def failed_cells(self) -> List[CellRecord]:
         return [c for c in self.cells if c.status == "failed"]
 
+    def completed_keys(self) -> Set[str]:
+        """Config keys of every cell that finished with a result."""
+        return {c.key for c in self.cells if c.status in ("ok", "cached")}
+
     def digests(self) -> Dict[str, Optional[str]]:
         """Per-cell trace digests keyed by config key (None untraced)."""
         return {c.key: c.digest for c in self.cells}
@@ -97,10 +119,19 @@ class RunManifest:
         return json.dumps(self.to_dict(), indent=indent)
 
     def save(self, path: str) -> str:
-        """Write the manifest JSON file; returns its path."""
-        with open(path, "w") as fh:
+        """Write the manifest JSON file atomically; returns its path.
+
+        Atomicity matters because the executor checkpoints the manifest
+        after every cell: a kill mid-flush must leave the previous
+        (valid) checkpoint in place, never a truncated file.
+        """
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
             fh.write(self.to_json())
             fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
         return path
 
     @classmethod

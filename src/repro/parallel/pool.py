@@ -16,7 +16,15 @@ such a list into a job run:
   arrive, so resumed campaigns skip completed cells;
 * every cell ends in a terminal :class:`CellOutcome` — a crashed or
   hung cell becomes a ``failed`` record in the run manifest
-  (:mod:`repro.parallel.manifest`) instead of killing the campaign.
+  (:mod:`repro.parallel.manifest`) instead of killing the campaign;
+* Ctrl-C is graceful: queued cells are cancelled, executing cells are
+  *drained* (their results land in the cache and manifest; a second
+  Ctrl-C abandons them as ``interrupted``), the manifest checkpoint is
+  flushed, and :class:`CampaignInterrupted` is raised with a clean
+  summary and the partial :class:`CampaignResult` attached;
+* the manifest (``manifest_path=``) is checkpointed atomically after
+  every terminal cell, and ``resume_from=`` replays a prior manifest —
+  completed cells come back through the cache, everything else re-runs.
 """
 
 from __future__ import annotations
@@ -56,7 +64,7 @@ class CellOutcome:
     index: int
     config: Any
     key: str
-    status: str  # "ok" | "cached" | "failed"
+    status: str  # "ok" | "cached" | "failed" | "interrupted"
     attempts: int
     wall_seconds: float
     result: Any = None
@@ -102,6 +110,29 @@ class CampaignError(RuntimeError):
         super().__init__(f"{len(failed)} campaign cell(s) failed: {detail}{more}")
 
 
+class CampaignInterrupted(KeyboardInterrupt):
+    """The campaign was interrupted (Ctrl-C) after a graceful drain.
+
+    Subclasses :class:`KeyboardInterrupt` so un-aware callers still
+    terminate, but carries the partial :class:`CampaignResult` (every
+    cell that finished before or during the drain) and the checkpointed
+    manifest path for ``run_campaign(resume_from=...)``.
+    """
+
+    def __init__(self, result: "CampaignResult", manifest_path: Optional[str] = None) -> None:
+        self.result = result
+        self.manifest_path = manifest_path
+        m = result.manifest
+        msg = (
+            f"campaign interrupted: {m.ok} ok, {m.cache_hits} cached, "
+            f"{m.failures} failed, {m.interrupted} interrupted "
+            f"of {m.total_cells} cells"
+        )
+        if manifest_path is not None:
+            msg += f"; resume with resume_from={manifest_path!r}"
+        super().__init__(msg)
+
+
 @dataclass
 class _CellJob:
     """Executor-internal mutable state of one in-flight cell."""
@@ -132,6 +163,7 @@ def run_campaign(
     run_fn: Optional[Callable[[Any], Any]] = None,
     reseed_from: Optional[int] = None,
     manifest_path: Optional[str] = None,
+    resume_from: Optional[Any] = None,
 ) -> CampaignResult:
     """Run every cell of a campaign; never raises for cell failures.
 
@@ -144,6 +176,17 @@ def run_campaign(
     :func:`derive_seed(reseed_from, index) <derive_seed>` — the same
     seeds at any ``jobs`` value. ``timeout_s`` bounds one attempt and is
     enforced only for ``jobs > 1`` (a serial run cannot preempt itself).
+
+    ``manifest_path`` additionally checkpoints the manifest after every
+    terminal cell (atomic replace), so a killed campaign leaves a valid
+    partial manifest. ``resume_from`` (a manifest path or
+    :class:`RunManifest`) replays such a checkpoint: cells it recorded
+    as completed are expected back from the cache (a cache miss re-runs
+    them with a note), everything else re-runs.
+
+    Ctrl-C does not lose finished work: queued cells are cancelled,
+    executing cells drain (a second Ctrl-C abandons them), and
+    :class:`CampaignInterrupted` is raised carrying the partial result.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -152,6 +195,15 @@ def run_campaign(
     fn = run_fn if run_fn is not None else run_experiment
     reporter = progress if progress is not None else ProgressReporter()
 
+    resume_keys = set()
+    if resume_from is not None:
+        prior = (
+            resume_from
+            if isinstance(resume_from, RunManifest)
+            else RunManifest.load(resume_from)
+        )
+        resume_keys = prior.completed_keys()
+
     cells: List[Any] = list(configs)
     if reseed_from is not None:
         cells = [cfg.with_(seed=derive_seed(reseed_from, i)) for i, cfg in enumerate(cells)]
@@ -159,6 +211,18 @@ def run_campaign(
     outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
     pending: List[_CellJob] = []
     reporter.start(len(cells), jobs)
+
+    def build_manifest(*, complete: bool) -> RunManifest:
+        manifest = RunManifest.from_outcomes(
+            outcomes, jobs=jobs, retries=reporter.retries,
+            elapsed_seconds=reporter.elapsed_seconds(),
+        )
+        manifest.complete = complete
+        return manifest
+
+    def checkpoint() -> None:
+        if manifest_path is not None:
+            build_manifest(complete=False).save(manifest_path)
 
     # Read-through: completed cells are served from the cache.
     for i, cfg in enumerate(cells):
@@ -171,9 +235,13 @@ def run_campaign(
             )
             reporter.on_outcome(outcomes[i])
         else:
+            if key in resume_keys:
+                reporter.note(
+                    f"resume: cell {i} ({key}) completed in the prior run "
+                    "but is missing from the cache; re-running"
+                )
             pending.append(_CellJob(index=i, config=cfg, key=key))
-
-    retries_total = 0
+    checkpoint()
 
     def record_ok(job: _CellJob, result: Any, wall: float) -> None:
         outcomes[job.index] = CellOutcome(
@@ -182,6 +250,7 @@ def run_campaign(
         )
         cache.save(result)  # write-through
         reporter.on_outcome(outcomes[job.index])
+        checkpoint()
 
     def record_failed(job: _CellJob, error: str, wall: float) -> None:
         outcomes[job.index] = CellOutcome(
@@ -189,23 +258,41 @@ def run_campaign(
             attempts=job.attempts, wall_seconds=wall, error=error,
         )
         reporter.on_outcome(outcomes[job.index])
+        checkpoint()
 
+    def record_interrupted(job: _CellJob, error: str, wall: float = 0.0) -> None:
+        outcomes[job.index] = CellOutcome(
+            index=job.index, config=job.config, key=job.key,
+            status="interrupted", attempts=job.attempts,
+            wall_seconds=wall, error=error,
+        )
+        reporter.on_outcome(outcomes[job.index])
+        checkpoint()
+
+    was_interrupted = False
     if pending:
-        if jobs == 1:
-            retries_total = _run_serial(pending, fn, retry, reporter, record_ok, record_failed)
-        else:
-            retries_total = _run_pool(
-                pending, fn, retry, jobs, timeout_s, reporter, record_ok, record_failed
-            )
+        try:
+            if jobs == 1:
+                _run_serial(
+                    pending, fn, retry, reporter,
+                    record_ok, record_failed, record_interrupted,
+                )
+            else:
+                _run_pool(
+                    pending, fn, retry, jobs, timeout_s, reporter,
+                    record_ok, record_failed, record_interrupted,
+                )
+        except KeyboardInterrupt:
+            was_interrupted = True
 
     reporter.finish()
-    manifest = RunManifest.from_outcomes(
-        outcomes, jobs=jobs, retries=retries_total,
-        elapsed_seconds=reporter.elapsed_seconds(),
-    )
+    manifest = build_manifest(complete=not was_interrupted)
     if manifest_path is not None:
         manifest.save(manifest_path)
-    return CampaignResult(outcomes=outcomes, manifest=manifest)
+    result = CampaignResult(outcomes=outcomes, manifest=manifest)
+    if was_interrupted:
+        raise CampaignInterrupted(result, manifest_path)
+    return result
 
 
 def run_cells(configs: Sequence[Any], **kwargs) -> List[CellOutcome]:
@@ -218,20 +305,31 @@ def _fallback_key(cfg: Any) -> str:
     return hashlib.sha256(repr(cfg).encode()).hexdigest()[:16]
 
 
-def _run_serial(pending, fn, retry, reporter, record_ok, record_failed) -> int:
+def _run_serial(
+    pending, fn, retry, reporter, record_ok, record_failed, record_interrupted
+) -> None:
     """The ``jobs=1`` path: in-process, submission order, byte-identical."""
-    retries_total = 0
-    for job in pending:
+    for pos, job in enumerate(pending):
         while True:
             started = time.perf_counter()
             try:
                 result = fn(job.config)
+            except KeyboardInterrupt:
+                # Ctrl-C mid-cell: the in-flight cell and everything
+                # not yet started become ``interrupted`` records, then
+                # the interrupt propagates for run_campaign to wrap.
+                record_interrupted(
+                    job, "interrupted while executing",
+                    time.perf_counter() - started,
+                )
+                for later in pending[pos + 1:]:
+                    record_interrupted(later, "interrupted before start")
+                raise
             except Exception as exc:
                 wall = time.perf_counter() - started
                 job.attempts += 1
                 error = f"{type(exc).__name__}: {exc}"
                 if retry.should_retry(job.attempts):
-                    retries_total += 1
                     reporter.on_retry(job.index, job.attempts, error)
                     delay = retry.delay_s(job.attempts)
                     if delay > 0:
@@ -241,12 +339,13 @@ def _run_serial(pending, fn, retry, reporter, record_ok, record_failed) -> int:
             else:
                 record_ok(job, result, time.perf_counter() - started)
             break
-    return retries_total
 
 
-def _run_pool(pending, fn, retry, jobs, timeout_s, reporter, record_ok, record_failed) -> int:
+def _run_pool(
+    pending, fn, retry, jobs, timeout_s, reporter,
+    record_ok, record_failed, record_interrupted,
+) -> None:
     """The ``jobs>1`` path: process pool + timeouts + retry + recycling."""
-    retries_total = 0
     queue = deque(pending)
     running: Dict[Future, _CellJob] = {}
     # Futures whose deadline passed while already executing: the worker
@@ -256,15 +355,51 @@ def _run_pool(pending, fn, retry, jobs, timeout_s, reporter, record_ok, record_f
     executor = ProcessPoolExecutor(max_workers=jobs)
 
     def attempt_failed(job: _CellJob, error: str, wall: float) -> None:
-        nonlocal retries_total
         job.attempts += 1
         if retry.should_retry(job.attempts):
-            retries_total += 1
             reporter.on_retry(job.index, job.attempts, error)
             job.not_before = time.monotonic() + retry.delay_s(job.attempts)
             queue.append(job)
         else:
             record_failed(job, error, wall)
+
+    def drain_interrupted() -> None:
+        """First Ctrl-C: stop submitting, let executing cells finish.
+
+        A second Ctrl-C during the drain abandons whatever is still
+        running (recorded ``interrupted``); queued cells are always
+        cancelled as ``interrupted before start``.
+        """
+        reporter.note(
+            f"interrupt: cancelling {len(queue)} queued cell(s), draining "
+            f"{len(running)} executing cell(s) — Ctrl-C again to abort"
+        )
+        try:
+            while running:
+                done, _ = wait(set(running), return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                for future in done:
+                    job = running.pop(future)
+                    try:
+                        result, worker_wall = future.result()
+                    except Exception as exc:
+                        record_failed(
+                            job, f"{type(exc).__name__}: {exc}", now - job.started
+                        )
+                    else:
+                        record_ok(job, result, worker_wall)
+        except KeyboardInterrupt:
+            now = time.monotonic()
+            for future, job in list(running.items()):
+                if not future.cancel():
+                    abandoned.append(future)
+                record_interrupted(
+                    job, "interrupted while executing", now - job.started
+                )
+            running.clear()
+        for job in queue:
+            record_interrupted(job, "interrupted before start")
+        queue.clear()
 
     def recycle_executor() -> None:
         """Replace a broken pool; every in-flight job failed with it."""
@@ -273,7 +408,7 @@ def _run_pool(pending, fn, retry, jobs, timeout_s, reporter, record_ok, record_f
         abandoned.clear()
         executor = ProcessPoolExecutor(max_workers=jobs)
 
-    try:
+    def main_loop() -> None:
         while queue or running:
             now = time.monotonic()
             abandoned[:] = [f for f in abandoned if not f.done()]
@@ -339,6 +474,13 @@ def _run_pool(pending, fn, retry, jobs, timeout_s, reporter, record_ok, record_f
                             f"TimeoutError: cell exceeded {timeout_s}s",
                             now - job.started,
                         )
+
+    try:
+        try:
+            main_loop()
+        except KeyboardInterrupt:
+            drain_interrupted()
+            raise
     finally:
         if any(not f.done() for f in abandoned):
             # Hung workers: don't block shutdown on them.
@@ -351,4 +493,3 @@ def _run_pool(pending, fn, retry, jobs, timeout_s, reporter, record_ok, record_f
                     pass
         else:
             executor.shutdown()
-    return retries_total

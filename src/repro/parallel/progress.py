@@ -32,6 +32,7 @@ class ProgressReporter:
         self.ok = 0
         self.cached = 0
         self.failed = 0
+        self.interrupted = 0
         self.retries = 0
         self.worker_seconds = 0.0
         self._started: Optional[float] = None
@@ -51,17 +52,23 @@ class ProgressReporter:
         self._emit(f"cell {index} attempt {attempt} failed ({error}); retrying")
 
     def on_outcome(self, outcome) -> None:
-        """A cell reached a terminal state (ok / cached / failed)."""
+        """A cell reached a terminal state (ok / cached / failed / interrupted)."""
         self.done += 1
         status = outcome.status
         if status == "cached":
             self.cached += 1
         elif status == "failed":
             self.failed += 1
+        elif status == "interrupted":
+            self.interrupted += 1
         else:
             self.ok += 1
         self.worker_seconds += outcome.wall_seconds
         self._emit(self.render())
+
+    def note(self, line: str) -> None:
+        """Emit a free-form status line (interrupt drain, resume info)."""
+        self._emit(line)
 
     def finish(self) -> None:
         self._finished = self._clock()
@@ -99,6 +106,8 @@ class ProgressReporter:
             parts.append(f"{self.retries} retries")
         if self.failed:
             parts.append(f"{self.failed} failed")
+        if self.interrupted:
+            parts.append(f"{self.interrupted} interrupted")
         parts.append(f"worker {self.worker_seconds:.1f}s")
         eta = self.eta_seconds()
         if self.done >= self.total:

@@ -10,13 +10,17 @@ invariants:
   virtual time (the event loop's fundamental ordering contract);
 * **credit non-negativity** — no port ever transmits past its
   link-level credit balance (lossless fabric);
-* **byte conservation** — no flow delivers more payload than its
-  source injected (the fabric never fabricates data);
+* **byte conservation modulo drops** — no flow delivers more payload
+  than its source injected, counting payload lost to injected faults
+  (the fabric never fabricates data, even when it loses some);
 * **CCTI bounds** — every CCT-index change lands in
-  ``[0, CCTI_Limit]``;
+  ``[0, CCTI_Limit]`` (also under CNP loss/duplication faults);
 * **flag consistency** — BECN rides only control packets (CNPs), CNPs
   always carry BECN, FECN never appears on control packets, and
-  packets are only delivered to their addressed destination.
+  packets are only delivered to their addressed destination;
+* **no transmission on a dead link** — between ``link_down`` and
+  ``link_up`` fault records (and while a switch is paused) the affected
+  output port must not begin transmitting.
 
 Violations are recorded (and optionally raised via ``strict=True``);
 ``summary()`` renders them for failure messages.
@@ -29,6 +33,8 @@ from typing import Dict, List, Tuple
 from repro.trace.records import (
     EV_BECN,
     EV_CCTI,
+    EV_DROP,
+    EV_FAULT,
     EV_INJECT,
     EV_RX,
     EV_TX,
@@ -55,6 +61,9 @@ class TraceAuditor:
         "_last_t",
         "_injected",
         "_delivered",
+        "_dropped",
+        "_down_ports",
+        "_paused_switches",
     )
 
     def __init__(self, *, ccti_limit: int = 127, strict: bool = False) -> None:
@@ -66,6 +75,13 @@ class TraceAuditor:
         # Per-flow payload totals for the conservation check.
         self._injected: Dict[Tuple[int, int], int] = {}
         self._delivered: Dict[Tuple[int, int], int] = {}
+        # Payload lost to injected faults, per flow (conservation is
+        # checked modulo these drops).
+        self._dropped: Dict[Tuple[int, int], int] = {}
+        # Links currently down / switches currently paused, learned
+        # from fault records.
+        self._down_ports: set = set()
+        self._paused_switches: set = set()
 
     @property
     def ok(self) -> bool:
@@ -93,6 +109,11 @@ class TraceAuditor:
             # (tx, t, kind, node, port, vl, src, dst, wire, fecn, credit)
             if rec[10] < 0:
                 self._violate("negative credit after transmit", rec)
+            kind, node, port = rec[2], rec[3], rec[4]
+            if (kind, node, port) in self._down_ports:
+                self._violate("transmission on a downed link", rec)
+            if kind == "s" and node in self._paused_switches:
+                self._violate("transmission from a paused switch", rec)
         elif etype == EV_RX:
             # (rx, t, node, src, dst, vl, payload, fecn, becn, ctrl)
             node, src, dst = rec[2], rec[3], rec[4]
@@ -109,10 +130,12 @@ class TraceAuditor:
                 flow = (src, dst)
                 delivered = self._delivered.get(flow, 0) + payload
                 self._delivered[flow] = delivered
-                if delivered > self._injected.get(flow, 0):
+                accounted = delivered + self._dropped.get(flow, 0)
+                if accounted > self._injected.get(flow, 0):
                     self._violate(
                         f"byte conservation broken for flow {flow} "
-                        f"(delivered {delivered} > injected "
+                        f"(delivered {delivered} + dropped "
+                        f"{self._dropped.get(flow, 0)} > injected "
                         f"{self._injected.get(flow, 0)})",
                         rec,
                     )
@@ -132,6 +155,33 @@ class TraceAuditor:
             # the flow's source (BECNs throttle the injector).
             if rec[2] != rec[3]:
                 self._violate("BECN applied at a non-source node", rec)
+        elif etype == EV_DROP:
+            # (drop, t, kind, node, port, vl, src, dst, payload, ctrl, reason)
+            src, dst, payload, ctrl = rec[6], rec[7], rec[8], rec[9]
+            if not ctrl:
+                flow = (src, dst)
+                dropped = self._dropped.get(flow, 0) + payload
+                self._dropped[flow] = dropped
+                accounted = self._delivered.get(flow, 0) + dropped
+                if accounted > self._injected.get(flow, 0):
+                    self._violate(
+                        f"byte conservation broken for flow {flow} "
+                        f"(delivered {self._delivered.get(flow, 0)} + "
+                        f"dropped {dropped} > injected "
+                        f"{self._injected.get(flow, 0)})",
+                        rec,
+                    )
+        elif etype == EV_FAULT:
+            # (fault, t, action, kind, node, port, value)
+            action, kind, node, port = rec[2], rec[3], rec[4], rec[5]
+            if action == "link_down":
+                self._down_ports.add((kind, node, port))
+            elif action == "link_up":
+                self._down_ports.discard((kind, node, port))
+            elif action == "switch_pause":
+                self._paused_switches.add(node)
+            elif action == "switch_resume":
+                self._paused_switches.discard(node)
 
     def summary(self) -> str:
         """Human-readable violation report (empty string when clean)."""

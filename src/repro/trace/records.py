@@ -29,6 +29,17 @@ tag       fields after ``(tag, t, ...)``
           in SL mode the key is encoded ``(-1, sl)``
 ``timer`` ``node, decremented`` — recovery timer fired, decrementing
           ``decremented`` flow indices
+``fault`` ``action, kind, node, port, value`` — a fault-injection
+          action fired (:mod:`repro.faults`); ``action`` names the
+          transition (``link_down``/``link_up``, ``degrade``/
+          ``restore``, ``switch_pause``/``switch_resume``,
+          ``timer_freeze``/``timer_thaw``, ``cnp_*``/``cnp_*_end``),
+          ``kind`` is ``"h"``/``"s"`` as for ``tx`` (empty when not
+          port-addressed), and ``value`` carries the action parameter
+          (rate factor, drop probability, delay)
+``drop``  ``kind, node, port, vl, src, dst, payload, ctrl, reason`` — a
+          packet was lost to an injected fault; ``reason`` is ``"link"``
+          (lost on a downed link) or ``"cnp"`` (control-packet loss)
 ``end``   ``events`` — emitted once at session close with the
           simulator's executed-event count
 ========  ==============================================================
@@ -55,6 +66,8 @@ EV_CNP = "cnp"
 EV_BECN = "becn"
 EV_CCTI = "ccti"
 EV_TIMER = "timer"
+EV_FAULT = "fault"
+EV_DROP = "drop"
 EV_END = "end"
 
 ALL_EVENTS = (
@@ -66,6 +79,8 @@ ALL_EVENTS = (
     EV_BECN,
     EV_CCTI,
     EV_TIMER,
+    EV_FAULT,
+    EV_DROP,
     EV_END,
 )
 

@@ -17,7 +17,9 @@ from repro.trace.records import (
     EV_BECN,
     EV_CCTI,
     EV_CNP,
+    EV_DROP,
     EV_END,
+    EV_FAULT,
     EV_FECN,
     EV_INJECT,
     EV_RX,
@@ -103,6 +105,26 @@ class Tracer:
 
     def timer_fire(self, t: float, node: int, decremented: int) -> None:
         self.emit((EV_TIMER, t, node, decremented))
+
+    def fault(
+        self, t: float, action: str, kind: str, node: int, port: int, value: float
+    ) -> None:
+        self.emit((EV_FAULT, t, action, kind, node, port, value))
+
+    def drop(
+        self,
+        t: float,
+        kind: str,
+        node: int,
+        port: int,
+        vl: int,
+        src: int,
+        dst: int,
+        payload: int,
+        ctrl: int,
+        reason: str,
+    ) -> None:
+        self.emit((EV_DROP, t, kind, node, port, vl, src, dst, payload, ctrl, reason))
 
     def end(self, t: float, events: int) -> None:
         self.emit((EV_END, t, events))

@@ -1,0 +1,342 @@
+"""Crash-safety tests: atomic stores, interrupts, checkpoint/resume.
+
+The acceptance bar for the harness hardening: a campaign killed
+mid-run (in-process ``KeyboardInterrupt`` or a real ``SIGINT`` to a
+separate process) must leave an atomic manifest + cache behind, and
+resuming from that manifest must reproduce the uninterrupted results
+bit-for-bit with no corrupt store files.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.store import (
+    ResultStore,
+    atomic_write_json,
+    load_json_or_quarantine,
+)
+from repro.parallel import RunManifest, run_campaign
+from repro.parallel.pool import CampaignInterrupted
+
+from tests.conftest import MICRO_SCALE
+
+try:
+    from hypothesis import given
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis ships with the image
+    given = None
+
+
+def micro_cfg(**kw):
+    return ExperimentConfig(
+        scale=MICRO_SCALE, seed=3, sim_time_ns=1e6, warmup_ns=3e5, **kw
+    )
+
+
+def micro_grid(n=4):
+    return [micro_cfg(cc=False).with_(seed=s) for s in range(1, n + 1)]
+
+
+def _stray_files(root):
+    """Leftover tmp/corrupt artifacts anywhere under ``root``."""
+    return (
+        glob.glob(os.path.join(root, "**", "*.tmp"), recursive=True)
+        + glob.glob(os.path.join(root, "**", "*.corrupt"), recursive=True)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Atomic writes + corrupt-entry quarantine
+
+
+class TestAtomicStore:
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"a": 1})
+        assert json.load(open(path)) == {"a": 1}
+        assert _stray_files(str(tmp_path)) == []
+
+    def test_corrupt_json_is_quarantined_not_raised(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fh:
+            fh.write('{"truncated": ')
+        assert load_json_or_quarantine(path) is None
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+
+    def test_missing_file_is_a_plain_miss(self, tmp_path):
+        assert load_json_or_quarantine(str(tmp_path / "nope.json")) is None
+        assert _stray_files(str(tmp_path)) == []
+
+    def test_store_load_quarantines_corrupt_entry(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        res = run_experiment(micro_cfg(cc=False))
+        store.save(res)
+        path = store._path(res.config)
+        with open(path, "w") as fh:
+            fh.write("not json at all")
+        assert store.load(res.config) is None  # miss, not an exception
+        assert os.path.exists(path + ".corrupt")
+        # The next save heals the entry.
+        store.save(res)
+        assert store.load(res.config) is not None
+
+    def test_store_load_quarantines_schema_mismatch(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        res = run_experiment(micro_cfg(cc=False))
+        store.save(res)
+        path = store._path(res.config)
+        atomic_write_json(path, {"valid_json": "wrong shape"})
+        assert store.load(res.config) is None
+        assert os.path.exists(path + ".corrupt")
+
+
+class TestManifestCheckpoint:
+    def test_save_is_atomic_and_round_trips(self, tmp_path):
+        manifest = RunManifest(total_cells=3, ok=1, interrupted=2, complete=False)
+        path = str(tmp_path / "run.json")
+        manifest.save(path)
+        assert _stray_files(str(tmp_path)) == []
+        loaded = RunManifest.load(path)
+        assert loaded.complete is False
+        assert loaded.interrupted == 2 and loaded.ok == 1
+
+    def test_completed_keys_excludes_failures_and_interrupts(self):
+        from repro.parallel.pool import CellOutcome
+
+        def outcome(i, key, status, error=None):
+            return CellOutcome(
+                index=i, config=micro_cfg(), key=key, status=status,
+                attempts=1, wall_seconds=0.1, error=error,
+            )
+
+        manifest = RunManifest.from_outcomes([
+            outcome(0, "a", "ok"),
+            outcome(1, "b", "cached"),
+            outcome(2, "c", "failed", error="boom"),
+            outcome(3, "d", "interrupted"),
+        ])
+        assert manifest.completed_keys() == {"a", "b"}
+        assert manifest.interrupted == 1 and manifest.failures == 1
+
+
+# ---------------------------------------------------------------------------
+# In-process interrupt + resume (serial executor)
+
+
+class InterruptAfter:
+    """run_fn that raises KeyboardInterrupt after ``n`` successful cells."""
+
+    def __init__(self, n):
+        self.n = n
+        self.calls = 0
+
+    def __call__(self, cfg):
+        self.calls += 1
+        if self.calls > self.n:
+            raise KeyboardInterrupt
+        return run_experiment(cfg)
+
+
+class Recorder:
+    """run_fn that records which seeds actually get simulated."""
+
+    def __init__(self):
+        self.seeds = []
+
+    def __call__(self, cfg):
+        self.seeds.append(cfg.seed)
+        return run_experiment(cfg)
+
+
+class TestSerialInterruptResume:
+    def test_interrupt_checkpoints_and_resume_completes(self, tmp_path):
+        cells = micro_grid(4)
+        cache_dir = str(tmp_path / "cache")
+        manifest_path = str(tmp_path / "run.json")
+        with pytest.raises(CampaignInterrupted) as excinfo:
+            run_campaign(
+                cells, jobs=1, cache=cache_dir,
+                manifest_path=manifest_path, run_fn=InterruptAfter(2),
+            )
+        partial = excinfo.value.result.manifest
+        assert partial.ok == 2 and partial.interrupted == 2
+        assert "resume with" in str(excinfo.value)
+
+        # The checkpoint on disk agrees with the in-memory summary.
+        saved = RunManifest.load(manifest_path)
+        assert saved.complete is False
+        assert len(saved.completed_keys()) == 2
+
+        # Resume: the two completed cells replay from the cache, only
+        # the interrupted ones are simulated.
+        recorder = Recorder()
+        resumed = run_campaign(
+            cells, jobs=1, cache=cache_dir,
+            manifest_path=str(tmp_path / "resumed.json"),
+            resume_from=manifest_path, run_fn=recorder,
+        )
+        assert recorder.seeds == [cells[2].seed, cells[3].seed]
+        assert [o.status for o in resumed.outcomes] == [
+            "cached", "cached", "ok", "ok",
+        ]
+        final = RunManifest.load(str(tmp_path / "resumed.json"))
+        assert final.complete is True and final.failures == 0
+
+    def test_resume_accepts_manifest_object(self, tmp_path):
+        cells = micro_grid(2)
+        cache_dir = str(tmp_path / "cache")
+        first = run_campaign(cells, jobs=1, cache=cache_dir)
+        resumed = run_campaign(
+            cells, jobs=1, cache=cache_dir, resume_from=first.manifest
+        )
+        assert all(o.status == "cached" for o in resumed.outcomes)
+
+    def test_resume_reruns_completed_cell_missing_from_cache(self, tmp_path):
+        cells = micro_grid(2)
+        cache_dir = str(tmp_path / "cache")
+        manifest_path = str(tmp_path / "run.json")
+        run_campaign(
+            cells, jobs=1, cache=cache_dir, manifest_path=manifest_path
+        )
+        # Lose one cached entry; resume must simulate it again instead
+        # of returning a hole.
+        os.remove(ResultStore(cache_dir)._path(cells[0]))
+        resumed = run_campaign(
+            cells, jobs=1, cache=cache_dir, resume_from=manifest_path
+        )
+        assert [o.status for o in resumed.outcomes] == ["ok", "cached"]
+        assert all(o.result is not None for o in resumed.outcomes)
+
+
+# ---------------------------------------------------------------------------
+# Real SIGINT to a separate process, then resume (the acceptance test)
+
+
+_CHILD_SCRIPT = textwrap.dedent("""
+    import sys, time
+    sys.path.insert(0, {src!r})
+    sys.path.insert(0, {root!r})
+    from repro.experiments.runner import run_experiment
+    from repro.parallel import run_campaign
+    from repro.parallel.pool import CampaignInterrupted
+    from tests.test_checkpoint_resume import micro_grid
+
+    def slow_run(cfg):
+        time.sleep(0.4)   # widen the window a SIGINT can land in
+        return run_experiment(cfg)
+
+    print("ready", flush=True)
+    try:
+        run_campaign(
+            micro_grid(8), jobs=1, cache={cache!r},
+            manifest_path={manifest!r}, run_fn=slow_run,
+        )
+    except CampaignInterrupted:
+        sys.exit(17)
+    sys.exit(0)
+""")
+
+
+class TestKillResilience:
+    def test_sigint_then_resume_matches_uninterrupted(self, tmp_path):
+        cells = micro_grid(8)
+        cache_dir = str(tmp_path / "cache")
+        manifest_path = str(tmp_path / "run.json")
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        script = tmp_path / "child.py"
+        script.write_text(_CHILD_SCRIPT.format(
+            src=os.path.join(root, "src"), root=root,
+            cache=cache_dir, manifest=manifest_path,
+        ))
+        proc = subprocess.Popen(
+            [sys.executable, str(script)],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        )
+        assert proc.stdout.readline().strip() == "ready"
+        time.sleep(1.5)  # a few cells complete, several remain
+        proc.send_signal(signal.SIGINT)
+        assert proc.wait(timeout=60) == 17
+
+        saved = RunManifest.load(manifest_path)
+        assert saved.complete is False
+        assert saved.ok >= 1, "SIGINT landed before any cell finished"
+        assert saved.ok + saved.interrupted == 8
+        assert _stray_files(str(tmp_path)) == []
+
+        # Resume and compare against a fresh uninterrupted campaign.
+        resumed = run_campaign(
+            cells, jobs=1, cache=cache_dir, resume_from=manifest_path
+        )
+        expected = run_campaign(cells, jobs=1)
+        for got, want in zip(resumed.results, expected.results):
+            assert got.rates_gbps == want.rates_gbps
+            assert got.events == want.events
+            assert (got.fecn_marks, got.becns) == (want.fecn_marks, want.becns)
+        statuses = [o.status for o in resumed.outcomes]
+        assert statuses.count("cached") == saved.ok
+        assert _stray_files(str(tmp_path)) == []
+
+
+# ---------------------------------------------------------------------------
+# derive_seed: cross-process stability + collision resistance
+
+
+class TestDeriveSeedProperties:
+    def test_collision_free_over_10k_pairs(self):
+        from repro.parallel import derive_seed
+
+        seeds = {derive_seed(b, i) for b in range(100) for i in range(100)}
+        assert len(seeds) == 10_000
+
+    def test_stable_across_processes_and_hash_seeds(self):
+        from repro.parallel import derive_seed
+
+        pairs = [(7, 0), (7, 1), (0, 0), (2**31, 999), (-3, 12)]
+        local = [derive_seed(b, i) for b, i in pairs]
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        code = (
+            "import sys, json; sys.path.insert(0, sys.argv[1]); "
+            "from repro.parallel import derive_seed; "
+            "print(json.dumps([derive_seed(b, i) "
+            f"for b, i in {pairs!r}]))"
+        )
+        for hash_seed in ("0", "1", "random"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            out = subprocess.run(
+                [sys.executable, "-c", code, src],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            assert json.loads(out.stdout) == local
+
+    if given is not None:
+
+        @given(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=-(2**63), max_value=2**63),
+                    st.integers(min_value=0, max_value=2**20),
+                ),
+                unique=True, min_size=2, max_size=50,
+            )
+        )
+        def test_distinct_pairs_distinct_seeds(self, pairs):
+            from repro.parallel import derive_seed
+
+            derived = [derive_seed(b, i) for b, i in pairs]
+            assert len(set(derived)) == len(pairs)
+            assert all(0 <= s < 2**64 for s in derived)

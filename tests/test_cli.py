@@ -49,6 +49,41 @@ class TestParser:
         not_a_dir.write_text("")
         assert main(["table2", "--cache-dir", str(not_a_dir)]) == 2
 
+    def test_faults_artifact_accepted(self):
+        assert build_parser().parse_args(["faults"]).artifact == "faults"
+
+    def test_fault_flags(self):
+        args = build_parser().parse_args(
+            ["table2", "--faults", "spec.json", "--resume", "run.json"]
+        )
+        assert args.faults == "spec.json"
+        assert args.resume == "run.json"
+
+    def test_parse_chaos(self):
+        from repro.experiments.cli import parse_chaos
+
+        spec = parse_chaos("7")
+        assert spec.seed == 7 and spec.link_flap == 0.05
+        spec = parse_chaos("3:link_flap=0.1,cnp_drop=0.2")
+        assert (spec.seed, spec.link_flap, spec.cnp_drop) == (3, 0.1, 0.2)
+        assert spec.degrade == 0.0
+        with pytest.raises(ValueError):
+            parse_chaos("3:warp_core=0.1")
+        with pytest.raises(ValueError):
+            parse_chaos("notanint")
+
+    def test_faults_and_chaos_are_exclusive(self):
+        assert main(["table2", "--faults", "a.json", "--chaos", "7"]) == 2
+
+    def test_missing_faults_file_is_exit_code_2(self, tmp_path):
+        assert main(["table2", "--faults", str(tmp_path / "nope.json")]) == 2
+
+    def test_bad_chaos_spec_is_exit_code_2(self):
+        assert main(["table2", "--chaos", "7:warp_core=0.1"]) == 2
+
+    def test_faults_artifact_rejects_fault_flags(self):
+        assert main(["faults", "--chaos", "7"]) == 2
+
 
 class TestMainSmoke:
     """End-to-end CLI runs at quick scale with a coarse sweep.
