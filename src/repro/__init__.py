@@ -29,6 +29,7 @@ from repro.topology import (
 from repro.traffic import BNodeSource, FixedRateSource, HotspotSchedule, assign_roles
 from repro.metrics import Collector, group_rates, tmax_gbps, jain_fairness
 from repro.trace import TraceAuditor, TraceSession, TraceSpec
+from repro.transport import TransportConfig, TransportLayer
 
 __version__ = "1.0.0"
 
@@ -60,6 +61,8 @@ __all__ = [
     "TraceAuditor",
     "TraceSession",
     "TraceSpec",
+    "TransportConfig",
+    "TransportLayer",
     "quick_simulation",
 ]
 

@@ -10,6 +10,8 @@ Examples::
     ibcc-repro faults --scale quick             # fault-scenario table
     ibcc-repro table2 --chaos 7                 # seeded random faults
     ibcc-repro table2 --faults flap.json        # explicit fault schedule
+    ibcc-repro faults --transport --trace       # reliable-delivery runs
+    ibcc-repro store gc .ibcc-cache --purge     # drop quarantine sidecars
     python -m repro table2 --scale paper        # full 648-node run
 """
 
@@ -19,7 +21,7 @@ import argparse
 import os
 import sys
 
-from repro.experiments.config import SCALES
+from repro.experiments.config import SCALES, ConfigError
 from repro.experiments.fault_scenarios import run_fault_scenarios
 from repro.experiments.moving import run_moving_figure
 from repro.experiments.table2 import run_table2
@@ -175,7 +177,96 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="with --trace: also write each cell's replayable JSONL trace under DIR",
     )
+    parser.add_argument(
+        "--transport",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "run every cell on the reliable-delivery transport "
+            "(repro.transport): PSN sequencing, acks, timeout/retransmit "
+            "with backoff; faulted runs recover lost bytes or report "
+            "explicitly FAILED flows instead of silently losing data "
+            "(default: off, keeping the raw lossless fabric)"
+        ),
+    )
+    parser.add_argument(
+        "--recovery-stats",
+        default=None,
+        metavar="PATH",
+        help=(
+            "with --transport: write per-cell recovery statistics "
+            "(retransmissions, timeouts, failed flows, degraded flow "
+            "health) as JSON to PATH"
+        ),
+    )
     return parser
+
+
+def store_main(argv) -> int:
+    """The ``store`` maintenance subcommands (``ibcc-repro store ...``).
+
+    ``store gc DIR`` lists the ``.corrupt`` quarantine sidecars that
+    corrupt-cache recovery left behind; ``--purge`` deletes them.
+    """
+    parser = argparse.ArgumentParser(
+        prog="ibcc-repro store",
+        description="maintain a --cache-dir result store",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    gc = sub.add_parser(
+        "gc",
+        help="list (and with --purge, delete) quarantined .corrupt sidecars",
+    )
+    gc.add_argument("directory", help="the result-store directory")
+    gc.add_argument(
+        "--purge",
+        action="store_true",
+        help="delete the sidecars instead of only listing them",
+    )
+    args = parser.parse_args(argv)
+    from repro.experiments.store import find_quarantined, purge_quarantined
+
+    if not os.path.isdir(args.directory):
+        print(f"store gc: {args.directory!r} is not a directory",
+              file=sys.stderr)
+        return 2
+    if args.purge:
+        removed = purge_quarantined(args.directory)
+        for path in removed:
+            print(f"removed {path}")
+        print(f"purged {len(removed)} quarantined sidecar(s)")
+    else:
+        sidecars = find_quarantined(args.directory)
+        for path in sidecars:
+            print(path)
+        print(
+            f"{len(sidecars)} quarantined sidecar(s)"
+            + (" (use --purge to delete)" if sidecars else "")
+        )
+    return 0
+
+
+def _write_recovery_stats(path: str, results) -> None:
+    """Dump per-cell transport recovery statistics as JSON to ``path``."""
+    from repro.experiments.runner import config_slug
+    from repro.experiments.store import atomic_write_json
+
+    cells = {}
+    for res in results:
+        cells[config_slug(res.config)] = {
+            "retx_packets": res.retx_packets,
+            "retx_bytes": res.retx_bytes,
+            "transport_timeouts": res.transport_timeouts,
+            "failed_flows": res.failed_flows,
+            "recovery_ns_total": res.recovery_ns_total,
+            "flow_health": res.flow_health or [],
+        }
+    atomic_write_json(path, {
+        "total_retx_packets": sum(c["retx_packets"] for c in cells.values()),
+        "total_timeouts": sum(c["transport_timeouts"] for c in cells.values()),
+        "total_failed_flows": sum(c["failed_flows"] for c in cells.values()),
+        "cells": cells,
+    })
 
 
 def _trace_report(results, stream) -> int:
@@ -198,6 +289,10 @@ def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     from repro.parallel import ProgressReporter
 
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "store":
+        return store_main(argv[1:])
     args = build_parser().parse_args(argv)
     scale = SCALES[args.scale]
     if args.jobs < 1:
@@ -206,6 +301,14 @@ def main(argv=None) -> int:
     if args.trace_dir is not None and not args.trace:
         print("--trace-dir requires --trace", file=sys.stderr)
         return 2
+    if args.recovery_stats is not None and not args.transport:
+        print("--recovery-stats requires --transport", file=sys.stderr)
+        return 2
+    transport = None
+    if args.transport:
+        from repro.transport import TransportConfig
+
+        transport = TransportConfig()
     cache = None if args.no_cache else args.cache_dir
     if cache is not None and os.path.exists(cache) and not os.path.isdir(cache):
         print(f"--cache-dir {cache!r} exists and is not a directory", file=sys.stderr)
@@ -247,10 +350,30 @@ def main(argv=None) -> int:
         manifest_path=args.manifest,
         run_fn=run_fn,
         resume_from=args.resume,
+        transport=transport,
     )
     if args.artifact != "faults":
         campaign_kw["faults"] = faults
 
+    try:
+        traced_results = _run_artifact(args, scale, campaign_kw)
+    except ConfigError as exc:
+        print(f"invalid configuration: {exc}", file=sys.stderr)
+        return 2
+    if args.recovery_stats is not None:
+        _write_recovery_stats(args.recovery_stats, traced_results)
+        print(f"recovery stats written to {args.recovery_stats}",
+              file=sys.stderr)
+    if args.trace and traced_results:
+        if _trace_report(traced_results, sys.stderr):
+            print("trace audit FAILED: invariant violations detected",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+def _run_artifact(args, scale, campaign_kw) -> list:
+    """Run the selected artifact, print it, return its cell results."""
     traced_results = []
     if args.artifact == "table2":
         table = run_table2(scale, seed=args.seed, **campaign_kw)
@@ -320,12 +443,7 @@ def main(argv=None) -> int:
         table = run_fault_scenarios(scale, seed=args.seed, **campaign_kw)
         traced_results = [r for row in table.rows for r in (row.off, row.on)]
         print(table.format())
-    if args.trace and traced_results:
-        if _trace_report(traced_results, sys.stderr):
-            print("trace audit FAILED: invariant violations detected",
-                  file=sys.stderr)
-            return 1
-    return 0
+    return traced_results
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,7 +14,17 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.core.parameters import CCParams
-from repro.faults.spec import FaultPlan
+from repro.faults.spec import ChaosSpec, FaultPlan, FaultSchedule
+from repro.transport.config import TransportConfig
+
+
+class ConfigError(ValueError):
+    """An :class:`ExperimentConfig` failed pre-flight validation.
+
+    Raised by :meth:`ExperimentConfig.validate` with every problem
+    collected into one actionable message, so a bad campaign is
+    rejected before any worker process spawns.
+    """
 
 
 @dataclass(frozen=True)
@@ -118,6 +128,11 @@ class ExperimentConfig:
     # result-store content key — a faulted run never aliases a clean
     # cache entry.
     faults: Optional[FaultPlan] = None
+    # Reliable transport (repro.transport): a TransportConfig enables
+    # PSN sequencing, acks and retransmission; None (the default) keeps
+    # the raw lossless fabric and its golden digests byte-identical.
+    # Like faults, part of the result-store content key.
+    transport: Optional[TransportConfig] = None
 
     def resolved_cc_params(self) -> CCParams:
         """The effective CC parameters (explicit override or scale defaults)."""
@@ -148,3 +163,80 @@ class ExperimentConfig:
     def with_(self, **kwargs) -> "ExperimentConfig":
         """A modified copy of this config."""
         return replace(self, **kwargs)
+
+    def validate(self) -> "ExperimentConfig":
+        """Pre-flight sanity check; raises :class:`ConfigError`.
+
+        Collects *every* problem into one exception so a bad campaign
+        is fixed in a single iteration. Called by ``run_experiment``
+        and by the campaign executor before any pool worker spawns.
+        Returns ``self`` so it chains: ``cfg.validate()``.
+        """
+        problems = []
+        if self.inj_rate_gbps <= 0:
+            problems.append(
+                f"inj_rate_gbps must be positive (got {self.inj_rate_gbps}; "
+                "the paper's PCIe injection ceiling is 13.5)"
+            )
+        if self.sink_rate_gbps <= 0:
+            problems.append(
+                f"sink_rate_gbps must be positive (got {self.sink_rate_gbps})"
+            )
+        for attr in ("b_fraction", "p", "c_fraction_of_rest"):
+            val = getattr(self, attr)
+            if not 0.0 <= val <= 1.0:
+                problems.append(f"{attr} must be in [0, 1] (got {val})")
+        if self.scale.radix < 2 or self.scale.radix % 2:
+            problems.append(
+                f"scale.radix must be a positive even number (got "
+                f"{self.scale.radix})"
+            )
+        sim = self.resolved_sim_time()
+        if sim <= 0:
+            problems.append(
+                f"resolved sim time must be positive (got {sim} ns) — "
+                "a zero-length run measures nothing"
+            )
+        warmup = self.resolved_warmup()
+        if warmup < 0:
+            problems.append(f"warmup must be non-negative (got {warmup} ns)")
+        elif sim > 0 and warmup >= sim:
+            problems.append(
+                f"warmup ({warmup} ns) consumes the whole run ({sim} ns), "
+                "leaving an empty measurement window"
+            )
+        if self.hotspot_lifetime_ns is not None and self.hotspot_lifetime_ns <= 0:
+            problems.append(
+                f"hotspot_lifetime_ns must be positive (got "
+                f"{self.hotspot_lifetime_ns})"
+            )
+        try:
+            self.resolved_cc_params()
+        except ValueError as exc:
+            problems.append(f"cc_params: {exc}")
+        if self.faults is not None and not isinstance(
+            self.faults, (FaultSchedule, ChaosSpec)
+        ):
+            problems.append(
+                f"faults must be a FaultSchedule or ChaosSpec (got "
+                f"{type(self.faults).__name__})"
+            )
+        if self.transport is not None:
+            if not isinstance(self.transport, TransportConfig):
+                problems.append(
+                    f"transport must be a TransportConfig (got "
+                    f"{type(self.transport).__name__})"
+                )
+            elif self.transport.max_retries < 1:
+                problems.append(
+                    "transport retry budget (max_retries) must be >= 1 — "
+                    "a flow needs at least one retransmission attempt "
+                    "before it may be declared FAILED"
+                )
+        if problems:
+            label = f" {self.name!r}" if self.name else ""
+            raise ConfigError(
+                f"invalid experiment config{label}:\n  - "
+                + "\n  - ".join(problems)
+            )
+        return self

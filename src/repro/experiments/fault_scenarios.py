@@ -146,21 +146,36 @@ class FaultScenarioTable:
         }
 
     def format(self) -> str:
-        """Plain-text table: throughput and fault telemetry per scenario."""
+        """Plain-text table: throughput and fault telemetry per scenario.
+
+        When any cell ran with the reliable transport enabled, two
+        recovery columns are appended: retransmitted packets and
+        permanently FAILED flows (CC-on cell of each row).
+        """
+        with_transport = any(
+            r.on.config.transport is not None
+            or r.off.config.transport is not None
+            for r in self.rows
+        )
         head = (
             f"Fault scenarios -- hotspot workload (Gbit/s)\n"
             f"{'scenario':<14} {'tot off':>8} {'tot on':>8} {'improv':>7} "
             f"{'nonhs off':>10} {'nonhs on':>9} {'faults':>7} {'drops':>7}"
         )
+        if with_transport:
+            head += f" {'retx':>7} {'failed':>7}"
         rows = []
         for r in self.rows:
             faults = r.on.fault_onsets
             drops = r.on.dropped_packets + r.on.cnps_dropped
-            rows.append(
+            line = (
                 f"{r.scenario.name:<14} {r.off.total:8.3f} {r.on.total:8.3f} "
                 f"{r.improvement:6.2f}x {r.off.non_hotspot:10.3f} "
                 f"{r.on.non_hotspot:9.3f} {faults:7d} {drops:7d}"
             )
+            if with_transport:
+                line += f" {r.on.retx_packets:7d} {r.on.failed_flows:7d}"
+            rows.append(line)
         return "\n".join([head, *rows])
 
 
@@ -169,6 +184,7 @@ def run_fault_scenarios(
     *,
     scenarios: Optional[Sequence[FaultScenario]] = None,
     seed: int = 7,
+    transport=None,
     jobs: int = 1,
     cache=None,
     retry=None,
@@ -180,7 +196,10 @@ def run_fault_scenarios(
 ) -> FaultScenarioTable:
     """Run every scenario's (CC off, CC on) hotspot pair at ``scale``.
 
-    ``scenarios`` overrides :func:`builtin_scenarios`; the executor
+    ``scenarios`` overrides :func:`builtin_scenarios`; ``transport``
+    (a :class:`~repro.transport.TransportConfig`) runs every cell on
+    the reliable-delivery layer so lossy fault classes recover by
+    retransmission instead of silently losing bytes. The executor
     knobs (``jobs``/``cache``/``retry``/``timeout_s``/``reporter``/
     ``manifest_path``/``resume_from``) forward to
     :func:`repro.parallel.run_campaign`. A cell that fails after its
@@ -193,7 +212,8 @@ def run_fault_scenarios(
     if scenarios is None:
         scenarios = builtin_scenarios(scale, seed=seed)
     base = ExperimentConfig(
-        scale=scale, b_fraction=0.0, c_fraction_of_rest=0.8, seed=seed
+        scale=scale, b_fraction=0.0, c_fraction_of_rest=0.8, seed=seed,
+        transport=transport,
     )
     configs = []
     for sc in scenarios:

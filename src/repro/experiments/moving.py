@@ -103,6 +103,7 @@ def run_moving_figure(
     manifest_path: str | None = None,
     run_fn=None,
     faults=None,
+    transport=None,
     resume_from=None,
 ) -> MovingFigure:
     """A lifetime sweep.
@@ -135,6 +136,7 @@ def run_moving_figure(
             seed=seed,
             name=f"moving-life{lt / 1e6:.0f}ms",
             faults=faults,
+            transport=transport,
         )
         configs.append(cfg.with_(cc=False))
         configs.append(cfg.with_(cc=True))

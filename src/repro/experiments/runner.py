@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from repro.core.manager import CCManager
+from repro.core.stats import snapshot_transport
 from repro.engine.rng import RngRegistry
 from repro.engine.simulator import Simulator
 from repro.experiments.config import ExperimentConfig
@@ -21,6 +22,7 @@ from repro.network.network import Network, NetworkConfig
 from repro.topology.fattree import three_stage_fat_tree
 from repro.trace.session import TraceSession, TraceSpec
 from repro.traffic.generators import BNodeSource
+from repro.transport import TransportLayer
 from repro.traffic.hotspots import HotspotSchedule
 from repro.traffic.mixes import assign_roles
 
@@ -50,6 +52,16 @@ class ExperimentResult:
     fault_recoveries: int = 0
     dropped_packets: int = 0
     cnps_dropped: int = 0
+    # Filled only for reliable-transport runs (cfg.transport,
+    # repro.transport). ``flow_health`` lists only degraded flows (one
+    # dict per flow, see repro.core.stats.FlowHealth) — a run with
+    # failed flows is degraded-but-valid, not an error.
+    retx_packets: int = 0
+    retx_bytes: int = 0
+    transport_timeouts: int = 0
+    failed_flows: int = 0
+    recovery_ns_total: float = 0.0
+    flow_health: Optional[List[dict]] = None
 
     @property
     def non_hotspot(self) -> float:
@@ -132,6 +144,8 @@ def config_slug(cfg: ExperimentConfig) -> str:
     ]
     if not cfg.contributors_active:
         parts.append("silent")
+    if cfg.transport is not None:
+        parts.append("rc")  # Reliable Connection transport enabled
     plan = cfg.faults
     if plan is not None and not plan.empty:
         if isinstance(plan, ChaosSpec):
@@ -157,6 +171,7 @@ def run_experiment(
     traced and untraced runs of the same config produce identical
     metrics.
     """
+    cfg.validate()
     topo = three_stage_fat_tree(cfg.scale.radix)
     n_hosts = topo.n_hosts
     sim_time = cfg.resolved_sim_time()
@@ -188,7 +203,14 @@ def run_experiment(
             audit=spec.audit,
             strict=spec.strict,
             ccti_limit=cfg.resolved_cc_params().ccti_limit,
+            min_retx_gap_ns=(
+                cfg.transport.min_retx_gap_ns if cfg.transport else None
+            ),
         ).install(sim, network, manager)
+
+    transport_layer = None
+    if cfg.transport is not None:
+        transport_layer = TransportLayer(network, cfg.transport, rng).install()
 
     injector = None
     plan = cfg.faults
@@ -222,9 +244,14 @@ def run_experiment(
     try:
         network.run(until=sim_time)
     finally:
+        # Seal transport flow summaries into the trace (the strict
+        # conservation check closes over them) before the session does.
+        if transport_layer is not None:
+            transport_layer.finalize()
         if session is not None:
             session.close()
     wall = time.perf_counter() - started
+    tsnap = snapshot_transport(network) if transport_layer is not None else None
 
     rates = collector.all_rx_rates_gbps(sim_time)
     hotspots = list(schedule.current_targets)
@@ -262,6 +289,14 @@ def run_experiment(
         fault_recoveries=injector.recoveries_applied if injector else 0,
         dropped_packets=injector.dropped_packets() if injector else 0,
         cnps_dropped=injector.cnps_dropped() if injector else 0,
+        retx_packets=tsnap.retx_packets if tsnap else 0,
+        retx_bytes=tsnap.retx_bytes if tsnap else 0,
+        transport_timeouts=tsnap.timeouts if tsnap else 0,
+        failed_flows=tsnap.failed_flows if tsnap else 0,
+        recovery_ns_total=tsnap.recovery_ns_total if tsnap else 0.0,
+        flow_health=(
+            [fh.to_dict() for fh in tsnap.degraded] if tsnap else None
+        ),
     )
 
 

@@ -26,6 +26,7 @@ from repro.core.parameters import CCParams
 from repro.experiments.config import SCALES, ExperimentConfig, ScaleProfile
 from repro.experiments.runner import ExperimentResult
 from repro.faults.spec import faults_from_dict, faults_to_dict
+from repro.transport.config import transport_from_dict, transport_to_dict
 
 _log = logging.getLogger(__name__)
 
@@ -74,10 +75,13 @@ def config_to_dict(cfg: ExperimentConfig) -> dict:
         out["cc_params"] = dataclasses.asdict(cfg.cc_params)
     # Fault-free configs omit the key entirely so their content hashes
     # (and any results stored before the fault layer existed) are
-    # unchanged.
+    # unchanged. Same for transport-free configs.
     out.pop("faults", None)
     if cfg.faults is not None:
         out["faults"] = faults_to_dict(cfg.faults)
+    out.pop("transport", None)
+    if cfg.transport is not None:
+        out["transport"] = transport_to_dict(cfg.transport)
     return out
 
 
@@ -109,6 +113,12 @@ def result_to_dict(res: ExperimentResult) -> dict:
         "fault_recoveries": res.fault_recoveries,
         "dropped_packets": res.dropped_packets,
         "cnps_dropped": res.cnps_dropped,
+        "retx_packets": res.retx_packets,
+        "retx_bytes": res.retx_bytes,
+        "transport_timeouts": res.transport_timeouts,
+        "failed_flows": res.failed_flows,
+        "recovery_ns_total": res.recovery_ns_total,
+        "flow_health": res.flow_health,
     }
 
 
@@ -121,10 +131,12 @@ def result_from_dict(data: dict) -> ExperimentResult:
     })
     cc_params = cfg_data.pop("cc_params", None)
     faults = faults_from_dict(cfg_data.pop("faults", None))
+    transport = transport_from_dict(cfg_data.pop("transport", None))
     cfg = ExperimentConfig(
         scale=scale,
         cc_params=CCParams(**cc_params) if cc_params else None,
         faults=faults,
+        transport=transport,
         **cfg_data,
     )
     return ExperimentResult(
@@ -149,6 +161,13 @@ def result_from_dict(data: dict) -> ExperimentResult:
         fault_recoveries=data.get("fault_recoveries", 0),
         dropped_packets=data.get("dropped_packets", 0),
         cnps_dropped=data.get("cnps_dropped", 0),
+        # Absent in results stored before the transport layer existed.
+        retx_packets=data.get("retx_packets", 0),
+        retx_bytes=data.get("retx_bytes", 0),
+        transport_timeouts=data.get("transport_timeouts", 0),
+        failed_flows=data.get("failed_flows", 0),
+        recovery_ns_total=data.get("recovery_ns_total", 0.0),
+        flow_health=data.get("flow_health"),
     )
 
 
@@ -205,3 +224,29 @@ class ResultStore:
 
     def __len__(self) -> int:
         return sum(1 for f in os.listdir(self.directory) if f.endswith(".json"))
+
+
+def find_quarantined(directory: str) -> list:
+    """``.corrupt`` quarantine sidecars under ``directory``, sorted.
+
+    These are corrupt cache entries moved aside by
+    :func:`load_json_or_quarantine` / :meth:`ResultStore.load` and
+    preserved for inspection; ``repro store gc`` lists and purges them.
+    """
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".corrupt")
+    )
+
+
+def purge_quarantined(directory: str) -> list:
+    """Delete every quarantine sidecar; returns the removed paths."""
+    removed = []
+    for path in find_quarantined(directory):
+        try:
+            os.remove(path)
+        except FileNotFoundError:  # pragma: no cover - racing cleanup
+            continue
+        removed.append(path)
+    return removed

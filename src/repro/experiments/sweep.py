@@ -40,6 +40,9 @@ class SweepCell:
             fecn_marks=self.result.fecn_marks,
             becns=self.result.becns,
             fairness=self.result.fairness(),
+            # Transport recovery telemetry: zero when transport is off.
+            retx_packets=getattr(self.result, "retx_packets", 0),
+            failed_flows=getattr(self.result, "failed_flows", 0),
         )
         return out
 
@@ -53,6 +56,8 @@ METRIC_FIELDS = (
     "fecn_marks",
     "becns",
     "fairness",
+    "retx_packets",
+    "failed_flows",
 )
 
 

@@ -75,6 +75,7 @@ def run_table2(
     manifest_path: str | None = None,
     run_fn=None,
     faults=None,
+    transport=None,
     resume_from=None,
 ) -> Table2Result:
     """Run the four phases of Table II at the given scale.
@@ -90,7 +91,9 @@ def run_table2(
     :class:`~repro.parallel.pool.CampaignError` — Table II needs all
     four rows. ``faults`` applies one fault plan
     (:class:`~repro.faults.FaultSchedule` or
-    :class:`~repro.faults.ChaosSpec`) to every phase;
+    :class:`~repro.faults.ChaosSpec`) to every phase; ``transport``
+    enables the reliable transport (a
+    :class:`~repro.transport.TransportConfig`) in every phase;
     ``resume_from`` replays a checkpointed run manifest.
     """
     from repro.parallel import run_campaign
@@ -99,7 +102,7 @@ def run_table2(
         scale = SCALES[scale]
     base = ExperimentConfig(
         scale=scale, b_fraction=0.0, c_fraction_of_rest=0.8, seed=seed, name="table2",
-        faults=faults,
+        faults=faults, transport=transport,
     )
     configs = [
         base.with_(cc=False, contributors_active=False),

@@ -113,6 +113,7 @@ def run_windy_figure(
     manifest_path: str | None = None,
     run_fn=None,
     faults=None,
+    transport=None,
     resume_from=None,
 ) -> WindyFigure:
     """A whole figure's sweep: figures 5 (x=.25) through 8 (x=1.0).
@@ -138,6 +139,7 @@ def run_windy_figure(
             seed=seed,
             name=f"windy-x{b_fraction:.2f}-p{p:.2f}",
             faults=faults,
+            transport=transport,
         )
         configs.append(cfg.with_(cc=False))
         configs.append(cfg.with_(cc=True))

@@ -7,6 +7,13 @@ signature: the event queue runs dry (or only periodic bookkeeping
 events remain) while packets still sit in buffers that will never
 drain.
 
+An *injected fault* produces the same no-progress signature for a very
+different reason: a downed link or paused switch (:mod:`repro.faults`)
+legitimately strands bytes until the fault recovers. Reports therefore
+carry a ``stall_reason`` — ``"deadlock"`` only when no fault-halted
+port can explain the stall, ``"fault_stall"`` otherwise — and the
+watchdog never raises a fault stall as a topology deadlock.
+
 :func:`detect_deadlock` inspects a network after ``sim.run`` returns;
 :class:`DeadlockWatchdog` samples progress during a run and fires a
 callback the first time no packet moved for a full interval while data
@@ -18,15 +25,36 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
+#: ``stall_reason`` values carried by :class:`DeadlockReport`.
+STALL_NONE = "none"
+STALL_DEADLOCK = "deadlock"
+STALL_FAULT = "fault_stall"
+
 
 @dataclass
 class DeadlockReport:
     deadlocked: bool
     buffered_bytes: int
     stuck_ports: List[Tuple[int, int]] = field(default_factory=list)
+    # Why nothing is moving: "none" (no stall), "deadlock" (a genuine
+    # buffer-dependency cycle), or "fault_stall" (bytes wedged behind a
+    # fault-downed/paused port — expected to drain on recovery).
+    stall_reason: str = STALL_NONE
 
     def format(self) -> str:
         """One-line human-readable verdict."""
+        if self.stall_reason == STALL_FAULT:
+            ports = ", ".join(
+                f"switch {s} port {p}" for s, p in self.stuck_ports[:8]
+            )
+            more = (
+                "" if len(self.stuck_ports) <= 8
+                else f" (+{len(self.stuck_ports) - 8} more)"
+            )
+            return (
+                f"fault stall: {self.buffered_bytes} bytes held behind "
+                f"fault-halted ports ({ports}{more}) — not a topology deadlock"
+            )
         if not self.deadlocked:
             return "no deadlock: all buffers drained"
         ports = ", ".join(f"switch {s} port {p}" for s, p in self.stuck_ports[:8])
@@ -37,24 +65,46 @@ class DeadlockReport:
         )
 
 
+def _fault_halted(network) -> bool:
+    """Whether any output port is currently halted by an injected fault."""
+    for sw in network.switches:
+        for out in sw.output_ports:
+            if out.halted:
+                return True
+    for hca in network.hcas:
+        if hca.obuf.halted:
+            return True
+    return False
+
+
+def _stuck_ports(network) -> List[Tuple[int, int]]:
+    stuck = []
+    for sw in network.switches:
+        for out in range(sw.n_ports):
+            if any(
+                sw.arbiters[out].queued_bytes[vl] > 0
+                for vl in range(sw.n_vls)
+            ):
+                stuck.append((sw.node_id, out))
+    return stuck
+
+
 def detect_deadlock(network) -> DeadlockReport:
     """Post-mortem check: data buffered but nothing left to happen.
 
     Call after ``sim.run()`` returned with no ``until`` bound (so the
     event queue is genuinely empty) — any bytes still buffered then can
-    never move.
+    never move. A stall explainable by a fault-halted port is reported
+    as ``stall_reason="fault_stall"`` with ``deadlocked=False``: the
+    bytes are wedged, but by an injected fault, not the topology.
     """
     buffered = network.total_buffered_bytes()
     if network.sim.peek() is not None or buffered == 0:
         return DeadlockReport(False, buffered)
-    stuck = []
-    for sw in network.switches:
-        for out in range(sw.n_ports):
-            for vl in range(sw.n_vls):
-                if sw.arbiters[out].queued_bytes[vl] > 0:
-                    stuck.append((sw.node_id, out))
-                    break
-    return DeadlockReport(True, buffered, stuck)
+    stuck = _stuck_ports(network)
+    if _fault_halted(network):
+        return DeadlockReport(False, buffered, stuck, stall_reason=STALL_FAULT)
+    return DeadlockReport(True, buffered, stuck, stall_reason=STALL_DEADLOCK)
 
 
 class DeadlockWatchdog:
@@ -63,7 +113,10 @@ class DeadlockWatchdog:
     Every ``interval_ns`` it compares total packets delivered network
     wide against the previous sample; if no packet moved while bytes
     are buffered, ``on_deadlock`` fires (once) with a
-    :class:`DeadlockReport`.
+    :class:`DeadlockReport` — unless the stall is explained by a
+    fault-halted port, in which case ``fault_stalls`` is incremented
+    (and ``on_stall``, if given, is called) but the watchdog does not
+    report a deadlock: pause/flap stalls clear when the fault recovers.
 
     Like every self-rescheduling monitor, run the simulation with a
     time bound (``sim.run(until=...)``) while a watchdog is armed, or
@@ -75,8 +128,11 @@ class DeadlockWatchdog:
         "network",
         "interval_ns",
         "on_deadlock",
+        "on_stall",
         "_last_count",
         "fired",
+        "fault_stalls",
+        "last_report",
         "_running",
     )
 
@@ -86,14 +142,18 @@ class DeadlockWatchdog:
         interval_ns: float,
         *,
         on_deadlock: Optional[Callable[[DeadlockReport], None]] = None,
+        on_stall: Optional[Callable[[DeadlockReport], None]] = None,
     ) -> None:
         if interval_ns <= 0:
             raise ValueError("interval must be positive")
         self.network = network
         self.interval_ns = interval_ns
         self.on_deadlock = on_deadlock
+        self.on_stall = on_stall
         self._last_count = -1
         self.fired = False
+        self.fault_stalls = 0
+        self.last_report: Optional[DeadlockReport] = None
         self._running = False
 
     def _delivered(self) -> int:
@@ -116,22 +176,26 @@ class DeadlockWatchdog:
             return
         count = self._delivered()
         buffered = self.network.total_buffered_bytes()
-        if (
-            not self.fired
-            and count == self._last_count
-            and buffered > 0
-        ):
-            self.fired = True
-            if self.on_deadlock is not None:
-                stuck = [
-                    (sw.node_id, out)
-                    for sw in self.network.switches
-                    for out in range(sw.n_ports)
-                    if any(
-                        sw.arbiters[out].queued_bytes[vl] > 0
-                        for vl in range(sw.n_vls)
-                    )
-                ]
-                self.on_deadlock(DeadlockReport(True, buffered, stuck))
+        if count == self._last_count and buffered > 0:
+            if _fault_halted(self.network):
+                # A downed/paused port explains the stall: count it,
+                # but don't misreport the fault as a topology deadlock.
+                self.fault_stalls += 1
+                report = DeadlockReport(
+                    False, buffered, _stuck_ports(self.network),
+                    stall_reason=STALL_FAULT,
+                )
+                self.last_report = report
+                if self.on_stall is not None:
+                    self.on_stall(report)
+            elif not self.fired:
+                self.fired = True
+                report = DeadlockReport(
+                    True, buffered, _stuck_ports(self.network),
+                    stall_reason=STALL_DEADLOCK,
+                )
+                self.last_report = report
+                if self.on_deadlock is not None:
+                    self.on_deadlock(report)
         self._last_count = count
         self.network.sim.schedule(self.interval_ns, self._tick)

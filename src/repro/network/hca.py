@@ -147,6 +147,7 @@ class Hca:
         "metrics",
         "trace",
         "cnp_fault",
+        "transport",
         "_wake_id",
         "_pulling",
         "_max_wire",
@@ -180,6 +181,7 @@ class Hca:
         self.metrics = None  # collector (repro.metrics), or None
         self.trace = None  # tracer (repro.trace), or None
         self.cnp_fault = None  # CnpFaultFilter (repro.faults), or None
+        self.transport = None  # HcaTransport (repro.transport), or None
         self._wake_id: Optional[int] = None
         self._pulling = False
         self._max_wire = config.mtu + config.header_bytes
@@ -199,10 +201,15 @@ class Hca:
         The generator either returns a packet eligible *now* or the
         earliest time one may become eligible, in which case a single
         wake-up is scheduled. Re-entrant calls (obuf space freeing while
-        we are already pulling) are coalesced.
+        we are already pulling) are coalesced. With the reliable
+        transport installed, pending retransmissions drain ahead of
+        fresh generator traffic, and fresh packets are PSN-sequenced
+        (or discarded, for a FAILED flow) before they cost anything.
         """
         if self._pulling or self.gen is None:
-            return
+            tr = self.transport
+            if self._pulling or tr is None or not tr.retx_queue:
+                return
         self._pulling = True
         try:
             if self._wake_id is not None:
@@ -211,12 +218,25 @@ class Hca:
             sim = self.sim
             obuf = self.obuf
             gen = self.gen
+            tr = self.transport
             while obuf.has_space(self._max_wire):
+                if tr is not None and tr.retx_queue:
+                    pkt = tr.next_retx()
+                    if pkt is not None:
+                        # Retransmissions re-occupy the wire but are not
+                        # new injections: no CC charge, no goodput tx,
+                        # no inject record (the retx record covers them).
+                        obuf.enqueue(pkt)
+                        continue
+                if gen is None:
+                    return
                 pkt, t_next = gen.next_packet(sim.now)
                 if pkt is None:
                     if t_next is not None:
                         self._wake_id = sim.schedule_at(t_next, self._wake)
                     return
+                if tr is not None and not tr.register(pkt):
+                    continue  # FAILED flow: discarded at the source
                 pkt.t_inject = sim.now
                 if self.cc is not None and not pkt.is_control:
                     self.cc.on_inject(pkt)
@@ -241,7 +261,12 @@ class Hca:
 
     # -- receive side -------------------------------------------------
     def on_packet_received(self, pkt: Packet) -> None:
-        """Sink completion: metrics, BECN handling, FECN -> CNP."""
+        """Sink completion: transport, metrics, BECN handling, FECN -> CNP."""
+        tr = self.transport
+        if tr is not None and not pkt.is_control and not tr.on_data(pkt):
+            # Duplicate/out-of-order under the reliable transport:
+            # discarded before the sink counts it as goodput.
+            return
         if self.metrics is not None:
             self.metrics.record_rx(self.node_id, pkt, self.sim.now)
         if self.trace is not None:
@@ -250,6 +275,9 @@ class Hca:
                 pkt.payload, 1 if pkt.fecn else 0, 1 if pkt.becn else 0,
                 1 if pkt.is_control else 0,
             )
+        if tr is not None and pkt.is_ack:
+            tr.on_ack(pkt)
+            return
         if pkt.becn:
             self.becns_received += 1
             if self.cc is not None:

@@ -26,6 +26,8 @@ FlowKey = Tuple[int, int]
 DEFAULT_HEADER_BYTES = 30
 # Size of a congestion notification packet (CNP) on the wire.
 CNP_WIRE_BYTES = 64
+# Size of a transport acknowledgement packet on the wire.
+ACK_WIRE_BYTES = 64
 
 
 class Packet:
@@ -50,10 +52,16 @@ class Packet:
     fecn, becn:
         Congestion notification bits (see module docstring).
     is_control:
-        True for CNPs: exempt from FECN marking, CC throttling and
-        generator budget accounting.
+        True for CNPs and transport acks: exempt from FECN marking, CC
+        throttling and generator budget accounting.
     t_inject:
         Virtual time the packet entered the source HCA output buffer.
+    psn:
+        Packet sequence number within its flow when the reliable
+        transport (:mod:`repro.transport`) is active; -1 otherwise.
+        On an ack, the highest PSN cumulatively acknowledged.
+    is_ack:
+        True for transport acknowledgement packets.
     """
 
     __slots__ = (
@@ -69,6 +77,8 @@ class Packet:
         "becn",
         "is_control",
         "t_inject",
+        "psn",
+        "is_ack",
     )
 
     def __init__(
@@ -98,6 +108,8 @@ class Packet:
         self.becn = False
         self.is_control = False
         self.t_inject = -1.0
+        self.psn = -1
+        self.is_ack = False
 
     @classmethod
     def cnp(cls, src: int, dst: int, *, vl: int = 0, sl: int = 0) -> "Packet":
@@ -112,6 +124,22 @@ class Packet:
         pkt = cls(src, dst, 0, header=CNP_WIRE_BYTES, vl=vl, sl=sl)
         pkt.becn = True
         pkt.is_control = True
+        pkt.flow = (dst, src)
+        return pkt
+
+    @classmethod
+    def ack(cls, src: int, dst: int, psn: int, *, vl: int = 0, sl: int = 0) -> "Packet":
+        """Build a transport acknowledgement packet.
+
+        ``src`` is the data receiver returning the ack; ``dst`` the
+        data sender; ``psn`` the highest PSN cumulatively acknowledged.
+        Like a CNP, the ack is a control packet riding the return path
+        and its ``flow`` is rewritten to the data-flow key.
+        """
+        pkt = cls(src, dst, 0, header=ACK_WIRE_BYTES, vl=vl, sl=sl)
+        pkt.is_control = True
+        pkt.is_ack = True
+        pkt.psn = psn
         pkt.flow = (dst, src)
         return pkt
 

@@ -36,6 +36,9 @@ class CellRecord:
     # (repro.trace) — the event-level equivalence token across jobs=1
     # and jobs=N executions of the same campaign.
     digest: Optional[str] = None
+    # Permanently FAILED transport flows, when the cell ran on the
+    # reliable transport (repro.transport); None when transport was off.
+    failed_flows: Optional[int] = None
 
 
 @dataclass
@@ -98,6 +101,13 @@ class RunManifest:
                 wall_seconds=outcome.wall_seconds,
                 error=outcome.error,
                 digest=getattr(outcome.result, "trace_digest", None),
+                failed_flows=(
+                    getattr(outcome.result, "failed_flows", None)
+                    if getattr(outcome.result, "config", None) is not None
+                    and getattr(outcome.result.config, "transport", None)
+                    is not None
+                    else None
+                ),
             )
         )
 

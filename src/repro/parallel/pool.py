@@ -37,7 +37,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import ConfigError, ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.experiments.store import config_key
 from repro.parallel.cache import as_cache
@@ -207,6 +207,15 @@ def run_campaign(
     cells: List[Any] = list(configs)
     if reseed_from is not None:
         cells = [cfg.with_(seed=derive_seed(reseed_from, i)) for i, cfg in enumerate(cells)]
+
+    # Pre-flight: reject a bad grid before any worker process spawns —
+    # one clear ConfigError now instead of N identical cell failures.
+    for i, cfg in enumerate(cells):
+        if isinstance(cfg, ExperimentConfig):
+            try:
+                cfg.validate()
+            except ConfigError as exc:
+                raise ConfigError(f"campaign cell {i}: {exc}") from None
 
     outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
     pending: List[_CellJob] = []

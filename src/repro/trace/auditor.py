@@ -22,20 +22,42 @@ invariants:
   ``link_up`` fault records (and while a switch is paused) the affected
   output port must not begin transmitting.
 
+With the reliable transport active (``min_retx_gap_ns`` given), the
+invariant set is upgraded:
+
+* **strict byte conservation** — conservation is checked against
+  ``injected + retransmitted`` while the run progresses (lost copies
+  are re-sent, so drops may transiently exceed injections), and at
+  session close every non-FAILED flow's ``flowsum`` record must show
+  ``delivered + pending >= injected``: every dropped byte was either
+  retransmitted to delivery or explicitly attributed to a FAILED flow
+  — nothing is silently lost;
+* **ack PSN monotonicity** — cumulative acks of a flow never regress;
+* **no retx before timeout** — a retransmission is emitted at or after
+  the timeout that queued it, and consecutive timeouts of one flow are
+  spaced by at least the minimum (jittered) RTO;
+* ``ctrl`` packets without BECN are permitted (acks ride the control
+  path), and duplicate/out-of-order receiver discards (``dup``/``ooo``
+  drop reasons) are surplus copies, exempt from conservation.
+
 Violations are recorded (and optionally raised via ``strict=True``);
 ``summary()`` renders them for failure messages.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.trace.records import (
+    EV_ACK,
     EV_BECN,
     EV_CCTI,
     EV_DROP,
     EV_FAULT,
+    EV_FLOW_FAILED,
+    EV_FLOWSUM,
     EV_INJECT,
+    EV_RETX,
     EV_RX,
     EV_TX,
     TraceRecord,
@@ -56,6 +78,7 @@ class TraceAuditor:
     __slots__ = (
         "ccti_limit",
         "strict",
+        "min_retx_gap_ns",
         "violations",
         "violation_count",
         "_last_t",
@@ -64,11 +87,26 @@ class TraceAuditor:
         "_dropped",
         "_down_ports",
         "_paused_switches",
+        "_retransmitted",
+        "_last_ack",
+        "_last_due",
+        "_failed_flows",
     )
 
-    def __init__(self, *, ccti_limit: int = 127, strict: bool = False) -> None:
+    def __init__(
+        self,
+        *,
+        ccti_limit: int = 127,
+        strict: bool = False,
+        min_retx_gap_ns: Optional[float] = None,
+    ) -> None:
         self.ccti_limit = ccti_limit
         self.strict = strict
+        # Non-None enables transport mode: the strict-conservation /
+        # PSN / retx-timing invariant set. The value is the tightest
+        # legal spacing of consecutive RTO fires per flow
+        # (TransportConfig.min_retx_gap_ns).
+        self.min_retx_gap_ns = min_retx_gap_ns
         self.violations: List[str] = []
         self.violation_count = 0
         self._last_t = 0.0
@@ -82,10 +120,35 @@ class TraceAuditor:
         # from fault records.
         self._down_ports: set = set()
         self._paused_switches: set = set()
+        # Transport mode: per-flow retransmitted payload, last ack PSN,
+        # last RTO-fire time, and flows declared FAILED.
+        self._retransmitted: Dict[Tuple[int, int], int] = {}
+        self._last_ack: Dict[Tuple[int, int], int] = {}
+        self._last_due: Dict[Tuple[int, int], float] = {}
+        self._failed_flows: set = set()
 
     @property
     def ok(self) -> bool:
         return self.violation_count == 0
+
+    def _check_conservation(self, flow: Tuple[int, int], rec: TraceRecord) -> None:
+        """Delivered + dropped may not exceed injected (+ retransmitted).
+
+        Retransmissions legitimately put extra copies of injected bytes
+        on the wire, so in transport mode the budget includes them; the
+        strict "nothing permanently lost" direction is closed by the
+        per-flow ``flowsum`` check at session end.
+        """
+        delivered = self._delivered.get(flow, 0)
+        dropped = self._dropped.get(flow, 0)
+        budget = self._injected.get(flow, 0) + self._retransmitted.get(flow, 0)
+        if delivered + dropped > budget:
+            self._violate(
+                f"byte conservation broken for flow {flow} "
+                f"(delivered {delivered} + dropped {dropped} > "
+                f"injected+retransmitted {budget})",
+                rec,
+            )
 
     def _violate(self, msg: str, rec: TraceRecord) -> None:
         self.violation_count += 1
@@ -122,7 +185,8 @@ class TraceAuditor:
                 self._violate("misdelivery (dst != receiving node)", rec)
             if ctrl and fecn:
                 self._violate("control packet carries FECN", rec)
-            if ctrl and not becn:
+            if ctrl and not becn and self.min_retx_gap_ns is None:
+                # Transport mode: cumulative acks are BECN-free control.
                 self._violate("control packet without BECN", rec)
             if becn and not ctrl:
                 self._violate("BECN on a data packet", rec)
@@ -130,15 +194,7 @@ class TraceAuditor:
                 flow = (src, dst)
                 delivered = self._delivered.get(flow, 0) + payload
                 self._delivered[flow] = delivered
-                accounted = delivered + self._dropped.get(flow, 0)
-                if accounted > self._injected.get(flow, 0):
-                    self._violate(
-                        f"byte conservation broken for flow {flow} "
-                        f"(delivered {delivered} + dropped "
-                        f"{self._dropped.get(flow, 0)} > injected "
-                        f"{self._injected.get(flow, 0)})",
-                        rec,
-                    )
+                self._check_conservation(flow, rec)
         elif etype == EV_INJECT:
             # (inj, t, node, dst, vl, payload)
             flow = (rec[2], rec[3])
@@ -157,18 +213,67 @@ class TraceAuditor:
                 self._violate("BECN applied at a non-source node", rec)
         elif etype == EV_DROP:
             # (drop, t, kind, node, port, vl, src, dst, payload, ctrl, reason)
-            src, dst, payload, ctrl = rec[6], rec[7], rec[8], rec[9]
-            if not ctrl:
+            src, dst, payload, ctrl, reason = rec[6], rec[7], rec[8], rec[9], rec[10]
+            if not ctrl and reason not in ("dup", "ooo"):
+                # Receiver dup/ooo discards are surplus copies of bytes
+                # already accounted — only genuine losses count.
                 flow = (src, dst)
-                dropped = self._dropped.get(flow, 0) + payload
-                self._dropped[flow] = dropped
-                accounted = self._delivered.get(flow, 0) + dropped
-                if accounted > self._injected.get(flow, 0):
+                self._dropped[flow] = self._dropped.get(flow, 0) + payload
+                self._check_conservation(flow, rec)
+        elif etype == EV_RETX:
+            # (retx, t, node, dst, psn, attempt, payload, due)
+            flow = (rec[2], rec[3])
+            payload, due = rec[6], rec[7]
+            self._retransmitted[flow] = (
+                self._retransmitted.get(flow, 0) + payload
+            )
+            if t < due:
+                self._violate("retransmission before its timeout fired", rec)
+            last_due = self._last_due.get(flow)
+            if last_due is not None and due != last_due:
+                if due < last_due:
+                    self._violate("retransmission deadline went backwards", rec)
+                elif (
+                    self.min_retx_gap_ns is not None
+                    and due - last_due < self.min_retx_gap_ns
+                ):
                     self._violate(
-                        f"byte conservation broken for flow {flow} "
-                        f"(delivered {self._delivered.get(flow, 0)} + "
-                        f"dropped {dropped} > injected "
-                        f"{self._injected.get(flow, 0)})",
+                        f"consecutive timeouts of flow {flow} only "
+                        f"{due - last_due:.0f} ns apart "
+                        f"(min {self.min_retx_gap_ns:.0f})",
+                        rec,
+                    )
+            self._last_due[flow] = due
+        elif etype == EV_ACK:
+            # (ack, t, node, src, psn) — cumulative ack for flow
+            # (src, node); the acked PSN must never regress.
+            flow = (rec[3], rec[2])
+            psn = rec[4]
+            last = self._last_ack.get(flow)
+            if last is not None and psn < last:
+                self._violate(
+                    f"cumulative ack regressed for flow {flow} "
+                    f"({psn} < {last})",
+                    rec,
+                )
+            else:
+                self._last_ack[flow] = psn
+        elif etype == EV_FLOW_FAILED:
+            # (flowfail, t, node, dst, acked, pending, timeouts)
+            self._failed_flows.add((rec[2], rec[3]))
+        elif etype == EV_FLOWSUM:
+            # (flowsum, t, node, dst, state, acked, next_psn, pending,
+            #  retx, timeouts) — the strict-conservation closing check.
+            flow = (rec[2], rec[3])
+            state, pending = rec[4], rec[7]
+            if state != "failed" and flow not in self._failed_flows:
+                injected = self._injected.get(flow, 0)
+                delivered = self._delivered.get(flow, 0)
+                if delivered + pending < injected:
+                    self._violate(
+                        f"bytes permanently lost on flow {flow} "
+                        f"(delivered {delivered} + pending {pending} "
+                        f"< injected {injected}, flow not FAILED)",
                         rec,
                     )
         elif etype == EV_FAULT:

@@ -38,8 +38,27 @@ tag       fields after ``(tag, t, ...)``
           port-addressed), and ``value`` carries the action parameter
           (rate factor, drop probability, delay)
 ``drop``  ``kind, node, port, vl, src, dst, payload, ctrl, reason`` — a
-          packet was lost to an injected fault; ``reason`` is ``"link"``
-          (lost on a downed link) or ``"cnp"`` (control-packet loss)
+          packet was lost to an injected fault or discarded by the
+          reliable transport; ``reason`` is ``"link"`` (lost on a
+          downed link), ``"cnp"`` (control-packet loss), or — with
+          :mod:`repro.transport` active — ``"dup"``/``"ooo"``
+          (duplicate / out-of-order copy discarded at the receiver;
+          surplus copies, exempt from conservation accounting)
+``retx``  ``node, dst, psn, attempt, payload, due`` — the transport
+          retransmits PSN ``psn`` of flow ``(node, dst)``; ``attempt``
+          counts retransmissions of this packet, ``due`` is the virtual
+          time of the timeout that queued it
+``ack``   ``node, src, psn`` — the receiver ``node`` returns a
+          cumulative ack for flow ``(src, node)`` covering PSNs
+          ``<= psn``
+``flowfail``  ``node, dst, acked, pending, timeouts`` — flow
+          ``(node, dst)`` exhausted its retry budget and entered the
+          FAILED state with ``pending`` unacked payload bytes
+``flowsum``  ``node, dst, state, acked, next_psn, pending, retx,
+          timeouts`` — per-flow transport summary emitted once at
+          session close; the auditor's strict conservation closes over
+          these (delivered + pending must cover injected for every
+          non-failed flow)
 ``end``   ``events`` — emitted once at session close with the
           simulator's executed-event count
 ========  ==============================================================
@@ -68,6 +87,10 @@ EV_CCTI = "ccti"
 EV_TIMER = "timer"
 EV_FAULT = "fault"
 EV_DROP = "drop"
+EV_RETX = "retx"
+EV_ACK = "ack"
+EV_FLOW_FAILED = "flowfail"
+EV_FLOWSUM = "flowsum"
 EV_END = "end"
 
 ALL_EVENTS = (
@@ -81,6 +104,10 @@ ALL_EVENTS = (
     EV_TIMER,
     EV_FAULT,
     EV_DROP,
+    EV_RETX,
+    EV_ACK,
+    EV_FLOW_FAILED,
+    EV_FLOWSUM,
     EV_END,
 )
 

@@ -59,12 +59,22 @@ class TraceSession:
         audit: bool = True,
         ccti_limit: int = 127,
         strict: bool = False,
+        min_retx_gap_ns: Optional[float] = None,
     ) -> None:
         self._digest_sink = DigestSink() if digest else None
         self._jsonl = JsonlSink(jsonl_path) if jsonl_path else None
         self._ring = RingBufferSink(ring) if ring else None
+        # min_retx_gap_ns (the run's TransportConfig.min_retx_gap_ns)
+        # switches the auditor into transport mode: strict conservation
+        # plus the PSN/retx-timing invariants. Derived per run from the
+        # config, not part of the picklable TraceSpec.
         self.auditor = (
-            TraceAuditor(ccti_limit=ccti_limit, strict=strict) if audit else None
+            TraceAuditor(
+                ccti_limit=ccti_limit, strict=strict,
+                min_retx_gap_ns=min_retx_gap_ns,
+            )
+            if audit
+            else None
         )
         sinks = [s for s in (self._digest_sink, self._jsonl, self._ring) if s is not None]
         self.tracer = Tracer(sinks, auditor=self.auditor)

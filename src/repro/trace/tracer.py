@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 
 from repro.trace.auditor import TraceAuditor
 from repro.trace.records import (
+    EV_ACK,
     EV_BECN,
     EV_CCTI,
     EV_CNP,
@@ -21,7 +22,10 @@ from repro.trace.records import (
     EV_END,
     EV_FAULT,
     EV_FECN,
+    EV_FLOW_FAILED,
+    EV_FLOWSUM,
     EV_INJECT,
+    EV_RETX,
     EV_RX,
     EV_TIMER,
     EV_TX,
@@ -125,6 +129,30 @@ class Tracer:
         reason: str,
     ) -> None:
         self.emit((EV_DROP, t, kind, node, port, vl, src, dst, payload, ctrl, reason))
+
+    def retx(
+        self, t: float, node: int, dst: int, psn: int, attempt: int,
+        payload: int, due: float,
+    ) -> None:
+        self.emit((EV_RETX, t, node, dst, psn, attempt, payload, due))
+
+    def ack(self, t: float, node: int, src: int, psn: int) -> None:
+        self.emit((EV_ACK, t, node, src, psn))
+
+    def flow_failed(
+        self, t: float, node: int, dst: int, acked: int, pending: int,
+        timeouts: int,
+    ) -> None:
+        self.emit((EV_FLOW_FAILED, t, node, dst, acked, pending, timeouts))
+
+    def flow_summary(
+        self, t: float, node: int, dst: int, state: str, acked: int,
+        next_psn: int, pending: int, retx: int, timeouts: int,
+    ) -> None:
+        self.emit(
+            (EV_FLOWSUM, t, node, dst, state, acked, next_psn, pending, retx,
+             timeouts)
+        )
 
     def end(self, t: float, events: int) -> None:
         self.emit((EV_END, t, events))

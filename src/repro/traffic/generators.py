@@ -134,6 +134,7 @@ class BNodeSource:
         external kick (e.g. both streams disabled or hotspot == self).
         """
         cc = self.hca.cc if self.hca is not None else None
+        tr = self.hca.transport if self.hca is not None else None
         best_t = float("inf")
         ready_hs = ready_uni = False
         t = 0.0
@@ -143,6 +144,10 @@ class BNodeSource:
                 continue
             dst = self._resolve_dst(stream)
             if dst is None:
+                continue
+            if tr is not None and not tr.can_send(dst):
+                # In-flight window full: the stream resumes on the kick
+                # the next cumulative ack (or flow failure) delivers.
                 continue
             t = budget.eligible_time(now, self.mtu)
             if cc is not None:

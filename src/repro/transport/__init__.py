@@ -1,0 +1,47 @@
+"""Reliable Connection transport: PSN sequencing, acks, retransmission.
+
+The IB spec's congestion control (the paper's subject) assumes
+Reliable Connection transport underneath: FECN/BECN throttling is only
+meaningful if the fabric eventually delivers everything. The fault
+layer (:mod:`repro.faults`) can lose packets in flight — this package
+adds the recovery path so faulted runs degrade gracefully instead of
+silently losing bytes.
+
+* :class:`TransportConfig` — the knob set (window, RTO bounds, retry
+  budget, ack coalescing); part of :class:`ExperimentConfig` and the
+  result-store content key.
+* :class:`HcaTransport` — one HCA's reliable-delivery state: per-flow
+  PSN sequencing and in-flight window on the send side, cumulative
+  ack generation and duplicate/out-of-order discard on the receive
+  side, an RTO timer with srtt/rttvar estimation, exponential backoff
+  with seeded jitter, and a bounded retry budget. On budget exhaustion
+  a flow enters a structured ``FAILED`` state and the run completes
+  degraded-but-valid.
+* :class:`TransportLayer` — installs one :class:`HcaTransport` per HCA
+  and seals the run with per-flow ``flowsum`` trace records, which the
+  auditor uses for *strict* byte conservation (every dropped byte is
+  retransmitted or attributed to a FAILED flow).
+
+Everything runs in simulated event-time with seeded jitter, so
+transport-enabled runs stay deterministic and jobs-invariant.
+"""
+
+from repro.transport.config import TransportConfig, transport_from_dict, transport_to_dict
+from repro.transport.reliability import (
+    FLOW_FAILED,
+    FLOW_OK,
+    FLOW_RECOVERING,
+    HcaTransport,
+    TransportLayer,
+)
+
+__all__ = [
+    "TransportConfig",
+    "transport_to_dict",
+    "transport_from_dict",
+    "HcaTransport",
+    "TransportLayer",
+    "FLOW_OK",
+    "FLOW_RECOVERING",
+    "FLOW_FAILED",
+]

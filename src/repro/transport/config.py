@@ -1,0 +1,89 @@
+"""Transport configuration: the reliable-delivery knob set.
+
+Defaults are sized for the simulated fabric (20 Gbit/s links, a few µs
+base RTT, but *hundreds* of µs of credit-stall queueing once a hotspot
+saturates): the minimum RTO sits well above the worst observed
+congestion RTT so clean runs never retransmit spuriously, while the
+maximum bounds the exponential backoff so a flow recovers promptly
+once a transient fault clears. Fault tests at sub-millisecond sim
+times should tune the RTOs down explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Reliable Connection transport parameters.
+
+    ``window_packets`` — per-flow in-flight (unacked) packet cap; a
+    sender whose window is full skips that flow until an ack frees it.
+    ``rto_init_ns`` — retransmission timeout before any RTT sample.
+    ``rto_min_ns``/``rto_max_ns`` — clamp for the srtt/rttvar-derived
+    RTO and the exponential backoff.
+    ``max_retries`` — consecutive timeouts a flow survives before it is
+    declared ``FAILED`` (its pending bytes are charged as permanently
+    lost and the run completes degraded-but-valid).
+    ``ack_coalesce_ns`` — minimum spacing of acks per flow; arrivals
+    inside the window share one trailing cumulative ack.
+    ``jitter_frac`` — seeded uniform jitter applied to every armed RTO
+    (``rto * (1 ± jitter_frac)``) so synchronized flows don't
+    retransmit in lockstep. Deterministic: drawn from the run's keyed
+    RNG registry.
+    """
+
+    window_packets: int = 32
+    rto_init_ns: float = 1_000_000.0
+    rto_min_ns: float = 500_000.0
+    rto_max_ns: float = 8_000_000.0
+    max_retries: int = 8
+    ack_coalesce_ns: float = 10_000.0
+    jitter_frac: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.window_packets < 1:
+            raise ValueError("window_packets must be >= 1")
+        if self.rto_init_ns <= 0 or self.rto_min_ns <= 0:
+            raise ValueError("RTO values must be positive")
+        if self.rto_max_ns < self.rto_min_ns:
+            raise ValueError("rto_max_ns must be >= rto_min_ns")
+        if self.max_retries < 1:
+            raise ValueError("transport retry budget (max_retries) must be >= 1")
+        if self.ack_coalesce_ns < 0:
+            raise ValueError("ack_coalesce_ns must be >= 0")
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ValueError("jitter_frac must be in [0, 1)")
+
+    @property
+    def min_retx_gap_ns(self) -> float:
+        """Lower bound on the spacing of consecutive RTO fires per flow.
+
+        Every armed timeout is at least ``rto_min * (1 - jitter_frac)``
+        in the future — the auditor's no-retx-before-timeout invariant.
+        """
+        return self.rto_min_ns * (1.0 - self.jitter_frac)
+
+
+def transport_to_dict(cfg: Optional[TransportConfig]) -> Optional[dict]:
+    """Serialize for the result store / JSON manifests (None passes through)."""
+    if cfg is None:
+        return None
+    return {
+        "window_packets": cfg.window_packets,
+        "rto_init_ns": cfg.rto_init_ns,
+        "rto_min_ns": cfg.rto_min_ns,
+        "rto_max_ns": cfg.rto_max_ns,
+        "max_retries": cfg.max_retries,
+        "ack_coalesce_ns": cfg.ack_coalesce_ns,
+        "jitter_frac": cfg.jitter_frac,
+    }
+
+
+def transport_from_dict(data: Optional[dict]) -> Optional[TransportConfig]:
+    """Inverse of :func:`transport_to_dict`."""
+    if data is None:
+        return None
+    return TransportConfig(**data)

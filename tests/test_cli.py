@@ -116,3 +116,77 @@ class TestMainSmoke:
 
         manifest = json.loads((tmp_path / "run.json").read_text())
         assert manifest["cache_hits"] == manifest["total_cells"] == 4
+
+
+class TestTransportFlags:
+    def test_transport_flag_parses(self):
+        assert build_parser().parse_args(["faults"]).transport is False
+        assert build_parser().parse_args(["faults", "--transport"]).transport
+        args = build_parser().parse_args(
+            ["faults", "--transport", "--no-transport"]
+        )
+        assert args.transport is False
+
+    def test_recovery_stats_requires_transport(self):
+        assert main(["faults", "--recovery-stats", "out.json"]) == 2
+
+    def test_recovery_stats_payload(self, tmp_path):
+        from repro.experiments.cli import _write_recovery_stats
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import ExperimentResult
+        from repro.transport import TransportConfig
+
+        import json
+
+        res = ExperimentResult(
+            config=ExperimentConfig(
+                name="cell", transport=TransportConfig()
+            ),
+            rates_gbps=[], hotspots=[], groups={}, tmax=0.0,
+            n_b=0, n_c=0, n_v=0, fecn_marks=0, becns=0, events=0,
+            wall_seconds=0.0, retx_packets=5, retx_bytes=10240,
+            transport_timeouts=2, failed_flows=1,
+            flow_health=[{"src": 0, "dst": 3, "state": "failed"}],
+        )
+        path = tmp_path / "recovery.json"
+        _write_recovery_stats(str(path), [res])
+        data = json.loads(path.read_text())
+        assert data["total_retx_packets"] == 5
+        assert data["total_failed_flows"] == 1
+        (cell,) = data["cells"].values()
+        assert cell["transport_timeouts"] == 2
+        assert cell["flow_health"][0]["dst"] == 3
+
+
+class TestStoreGc:
+    def test_gc_lists_then_purges(self, capsys, tmp_path):
+        (tmp_path / "aaaa.json.corrupt").write_text("not json{")
+        (tmp_path / "bbbb.json").write_text("{}")
+        assert main(["store", "gc", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "aaaa.json.corrupt" in out and "1 quarantined" in out
+        assert (tmp_path / "aaaa.json.corrupt").exists()
+
+        assert main(["store", "gc", str(tmp_path), "--purge"]) == 0
+        out = capsys.readouterr().out
+        assert "purged 1" in out
+        assert not (tmp_path / "aaaa.json.corrupt").exists()
+        assert (tmp_path / "bbbb.json").exists()  # real entries untouched
+
+    def test_gc_missing_directory_is_exit_code_2(self, tmp_path):
+        assert main(["store", "gc", str(tmp_path / "nope")]) == 2
+
+    def test_gc_collects_a_real_quarantine(self, capsys, tmp_path):
+        # End to end: a corrupt cache entry is quarantined by a load,
+        # then collected by store gc.
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.store import ResultStore, config_key
+
+        from tests.conftest import MICRO_SCALE
+
+        cfg = ExperimentConfig(scale=MICRO_SCALE, seed=3)
+        store = ResultStore(str(tmp_path))
+        (tmp_path / f"{config_key(cfg)}.json").write_text("{trunca")
+        assert store.load(cfg) is None  # quarantines the bad entry
+        assert main(["store", "gc", str(tmp_path), "--purge"]) == 0
+        assert "purged 1" in capsys.readouterr().out

@@ -232,21 +232,29 @@ class TestTimerFreeze:
 
 
 class TestSwitchPauseDeadlockWatchdog:
-    def test_watchdog_fires_during_permanent_pause(self):
+    def test_permanent_pause_is_a_fault_stall_not_a_deadlock(self):
         # A permanently paused leaf switch wedges the flow through it:
-        # buffered bytes stop moving, which is exactly the watchdog's
-        # mid-run trigger.
+        # buffered bytes stop moving. The stall is explained by the
+        # fault-halted ports, so the watchdog must NOT misreport a
+        # topology deadlock — it counts fault stalls and reports the
+        # distinct stall_reason instead.
         sim = Simulator()
         net, _, _ = build_network(sim, radix=4)
         attach_fixed_flow(net, RngRegistry(1), src=0, dst=5, rate_gbps=13.5)
         sched = FaultSchedule([FaultSpec("switch_pause", 2e5, switch=0)])
         FaultInjector(net, sched).install()
-        fired = []
-        watchdog = DeadlockWatchdog(net, MS, on_deadlock=fired.append).start()
+        fired, stalls = [], []
+        watchdog = DeadlockWatchdog(
+            net, MS, on_deadlock=fired.append, on_stall=stalls.append
+        ).start()
         net.run(until=10 * MS)
         watchdog.stop()
-        assert watchdog.fired
-        assert fired and fired[0].deadlocked and fired[0].buffered_bytes > 0
+        assert not watchdog.fired and not fired
+        assert watchdog.fault_stalls > 0
+        assert stalls and stalls[0].stall_reason == "fault_stall"
+        assert not stalls[0].deadlocked and stalls[0].buffered_bytes > 0
+        assert "fault stall" in stalls[0].format()
+        assert "not a topology deadlock" in stalls[0].format()
 
     def test_pause_resume_round_trip_is_lossless(self):
         sim = Simulator()

@@ -165,6 +165,8 @@ class TestSerialIdentity:
                 fecn_marks=res.fecn_marks,
                 becns=res.becns,
                 fairness=res.fairness(),
+                retx_packets=res.retx_packets,
+                failed_flows=res.failed_flows,
             )
             rows.append(row)
         out = _io.StringIO()

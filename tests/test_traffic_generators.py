@@ -118,6 +118,7 @@ class TestBNode:
 
         class FakeHca:
             cc = Throttle()
+            transport = None
 
         gen = BNodeSource(0, 16, 0.5, rng(), hotspot=lambda: 7)
         gen.bind(FakeHca())
@@ -144,6 +145,7 @@ class TestThrottleRetry:
 
         class FakeHca:
             cc = Throttle()
+            transport = None
 
         gen = BNodeSource(0, 8, 1.0, rng(), hotspot=lambda: 5)
         gen.bind(FakeHca())
