@@ -31,7 +31,7 @@ Units and semantics:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 CCTI_TIMER_UNIT_NS = 1024.0  # one timer tick: 1.024 microseconds

@@ -11,7 +11,7 @@ port and per HCA, suitable for printing or for driving tuning loops
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 
 @dataclass

@@ -6,6 +6,19 @@ Every component that needs randomness gets its own independent
 arbitrary hashable name (e.g. ``("gen", node_id)``), so adding a new
 consumer never perturbs the draws seen by existing components — runs
 stay reproducible across code evolution.
+
+**This module is the enforced randomness contract.** simlint rule
+DET001 (:mod:`repro.lint`) statically rejects any other source of
+randomness in the sim-critical packages (``engine``, ``network``,
+``core``, ``traffic``, ``faults``, ``transport``, ``trace``,
+``topology``): no stdlib ``random.*`` calls, no ``numpy.random``
+module-level draws, no locally constructed generators. Event-path code
+must take a :class:`RngRegistry` (or a stream from one) as an
+argument; the only sanctioned exception is a seeded, pure
+config-expansion generator behind a justified
+``# simlint: disable=DET001`` pragma (see
+:func:`repro.faults.chaos.chaos_schedule`). ``repro lint src/``
+enforces this in CI before the test matrix runs.
 """
 
 from __future__ import annotations

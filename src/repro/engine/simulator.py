@@ -17,7 +17,7 @@ Design notes (hot path):
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Set, Tuple
 
 
 class SimulationError(RuntimeError):
@@ -62,14 +62,15 @@ class Simulator:
         self.now: float = 0.0
         # Tracing handle (repro.trace.Tracer) or None. Held here so any
         # component can reach the active tracer through its simulator;
-        # the event loop itself never touches it.
-        self.trace = None
-        self._heap: list = []
+        # the event loop itself never touches it. Typed Any to avoid an
+        # engine -> trace import cycle.
+        self.trace: Optional[Any] = None
+        self._heap: List[Tuple[float, int, Callable, Any]] = []
         self._seq: int = 0
-        self._cancelled: set = set()
+        self._cancelled: Set[int] = set()
         self._events_executed: int = 0
-        self._max_events = max_events
-        self._running = False
+        self._max_events: Optional[int] = max_events
+        self._running: bool = False
 
     # ------------------------------------------------------------------
     # scheduling

@@ -12,6 +12,7 @@ Examples::
     ibcc-repro table2 --faults flap.json        # explicit fault schedule
     ibcc-repro faults --transport --trace       # reliable-delivery runs
     ibcc-repro store gc .ibcc-cache --purge     # drop quarantine sidecars
+    ibcc-repro lint src/                        # simlint static analysis
     python -m repro table2 --scale paper        # full 648-node run
 """
 
@@ -293,6 +294,10 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "store":
         return store_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.lint.cli import lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     scale = SCALES[args.scale]
     if args.jobs < 1:

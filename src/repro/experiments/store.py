@@ -23,7 +23,7 @@ import os
 from typing import Optional
 
 from repro.core.parameters import CCParams
-from repro.experiments.config import SCALES, ExperimentConfig, ScaleProfile
+from repro.experiments.config import ExperimentConfig, ScaleProfile
 from repro.experiments.runner import ExperimentResult
 from repro.faults.spec import faults_from_dict, faults_to_dict
 from repro.transport.config import transport_from_dict, transport_to_dict

@@ -50,7 +50,11 @@ def chaos_schedule(
     """
     if spec.empty or sim_time_ns <= 0:
         return FaultSchedule()
-    rng = np.random.Generator(np.random.PCG64(
+    # Chaos expansion runs at config time, before any RngRegistry
+    # exists (the schedule itself becomes part of the config/store
+    # key). A private generator seeded only by (0xFA417, spec.seed)
+    # keeps the expansion a pure function of the spec.
+    rng = np.random.Generator(np.random.PCG64(  # simlint: disable=DET001
         np.random.SeedSequence([0xFA417, int(spec.seed)])
     ))
     sim_ms = sim_time_ns / 1e6

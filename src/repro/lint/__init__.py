@@ -1,0 +1,73 @@
+"""simlint: AST-based determinism & invariant linter for this repo.
+
+The reproduction's headline results rest on bit-for-bit deterministic
+replay — golden trace digests, ``jobs=1`` vs ``jobs=4`` digest
+equality, seeded chaos schedules. One stray ``random.random()``,
+wall-clock read, or unordered-``set`` iteration inside the event path
+silently breaks every digest downstream, and the runtime campaigns
+only catch it an hour later. simlint moves that detection to a static
+pass that fails in seconds.
+
+Rules (see :mod:`repro.lint.rules_determinism` /
+:mod:`repro.lint.rules_crossref`):
+
+========  ==============================================================
+DET001    no raw ``random.*`` / ``numpy.random`` stateful calls in
+          sim-critical packages — randomness routes through
+          :class:`repro.engine.rng.RngRegistry`
+DET002    no wall-clock reads on the event path (telemetry packages
+          are allowlisted)
+DET003    no iteration over bare ``set()`` / non-literal ``.keys()``
+          in sim-critical code without an explicit ``sorted(...)``
+DET004    no float accumulation via ``sum()`` over unordered
+          (set-typed) iterables in ``metrics`` / ``core``
+KEY001    store-key drift — every ``ExperimentConfig`` (and nested
+          fault/transport config) dataclass field must be reflected in
+          ``store.config_key``'s serialization
+TRC001    every ``EV_*`` trace constant must be listed in
+          ``ALL_EVENTS``, emitted by a ``Tracer`` hook, and handled by
+          the ``TraceAuditor``
+IMP001    unused module-level import (dead-code hygiene; never fails
+          the build)
+========  ==============================================================
+
+Suppress a finding with a line pragma ``# simlint: disable=DET001`` on
+the flagged line, or a file pragma ``# simlint: disable-file=DET001``
+on its own comment line. Every suppression should carry a justifying
+comment.
+
+Programmatic use::
+
+    from repro.lint import run_lint
+    report = run_lint(["src"])
+    assert not report.errors, report.format()
+
+CLI: ``ibcc-repro lint [paths] [--json] [--rule ID]`` (also
+``python -m repro lint``).
+"""
+
+from repro.lint.engine import LintReport, iter_python_files, run_lint
+from repro.lint.findings import (
+    SEV_ERROR,
+    SEV_INFO,
+    SEV_WARNING,
+    Finding,
+)
+from repro.lint.registry import RULES, all_rule_ids, get_rules
+
+# Importing the rule modules registers their rules.
+from repro.lint import rules_crossref as _rules_crossref  # noqa: F401
+from repro.lint import rules_determinism as _rules_determinism  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "RULES",
+    "SEV_ERROR",
+    "SEV_INFO",
+    "SEV_WARNING",
+    "all_rule_ids",
+    "get_rules",
+    "iter_python_files",
+    "run_lint",
+]

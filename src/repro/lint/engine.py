@@ -1,0 +1,166 @@
+"""Run the registered rules over a file set and aggregate findings.
+
+:func:`run_lint` is the one public entry point — the CLI, the CI job
+and the test suite all go through it, so they can never disagree about
+what "clean" means.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.lint.findings import SEV_ERROR, SEV_WARNING, Finding
+from repro.lint.pragmas import PragmaIndex
+from repro.lint.project import (
+    DEFAULT_CONFIG,
+    LintConfig,
+    Project,
+    SourceFile,
+    classify_parts,
+)
+from repro.lint.registry import Rule, get_rules
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "build", "dist"}
+)
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d not in _SKIP_DIRS and not d.startswith(".")
+                )
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            out.append(path)
+    # De-duplicate while keeping the sorted walk order stable.
+    seen = set()
+    unique = []
+    for p in out:
+        if p not in seen:
+            seen.add(p)
+            unique.append(p)
+    return unique
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding]
+    files_checked: int
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEV_ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEV_WARNING]
+
+    def exit_code(self, *, strict: bool = False) -> int:
+        """1 when error findings exist (or warnings under strict)."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def format(self) -> str:
+        """Human-readable report: one line per finding + a summary."""
+        lines = [f.format() for f in self.findings]
+        n_err, n_warn = len(self.errors), len(self.warnings)
+        n_info = len(self.findings) - n_err - n_warn
+        lines.append(
+            f"simlint: {self.files_checked} file(s) checked, "
+            f"{n_err} error(s), {n_warn} warning(s), {n_info} info"
+        )
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The stable machine-readable form (``repro lint --json``)."""
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "info": (
+                    len(self.findings)
+                    - len(self.errors)
+                    - len(self.warnings)
+                ),
+            },
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def _load_file(path: str) -> SourceFile:
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    tree = ast.parse(source, filename=path)
+    return SourceFile(
+        path=path,
+        source=source,
+        tree=tree,
+        pragmas=PragmaIndex.from_source(source),
+        parts=classify_parts(path),
+    )
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    rules: Optional[Sequence[str]] = None,
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    """Lint ``paths`` (files and/or directories) with the selected rules.
+
+    Unparseable files produce a ``PARSE001`` error finding rather than
+    aborting the run. Findings suppressed by ``# simlint:`` pragmas are
+    dropped before aggregation; the rest come back sorted by location.
+    """
+    selected: List[Rule] = get_rules(rules)
+    files: List[SourceFile] = []
+    findings: List[Finding] = []
+    file_paths = iter_python_files(paths)
+    for path in file_paths:
+        try:
+            files.append(_load_file(path))
+        except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
+            lineno = getattr(exc, "lineno", None) or 1
+            findings.append(Finding(
+                "PARSE001", SEV_ERROR, path, int(lineno), 0,
+                f"file does not parse: {exc}",
+            ))
+
+    project = Project(files=files, config=config or DEFAULT_CONFIG)
+    by_path = {f.path: f for f in files}
+    for rule_obj in selected:
+        for finding in rule_obj.check(project):
+            src = by_path.get(finding.path)
+            if src is not None and src.pragmas.suppressed(
+                finding.rule, finding.line
+            ):
+                continue
+            findings.append(finding)
+
+    findings.sort(key=lambda f: f.sort_key)
+    return LintReport(
+        findings=findings,
+        files_checked=len(file_paths),
+        rules_run=[r.id for r in selected],
+    )

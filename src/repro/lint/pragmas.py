@@ -1,0 +1,71 @@
+"""``# simlint:`` suppression pragmas.
+
+Two forms, both comments so they survive formatting:
+
+* line pragma — ``# simlint: disable=DET001[,DET002]`` suppresses the
+  named rules (or ``all``) for findings *on that physical line*;
+* file pragma — ``# simlint: disable-file=DET001`` on a line of its
+  own suppresses the named rules for the whole file.
+
+Pragmas are matched against the line the AST node *starts* on, so a
+multi-line call is suppressed by a pragma on its opening line. Every
+pragma in real code should carry a comment justifying the exception —
+the point of a suppression is a reviewed, documented deviation, not a
+mute button.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Set
+
+_PRAGMA_RE = re.compile(
+    r"#\s*simlint:\s*(?P<kind>disable-file|disable)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+#: Sentinel rule name matching every rule.
+ALL = "all"
+
+
+class PragmaIndex:
+    """Per-file suppression lookup built from the raw source text."""
+
+    __slots__ = ("_file_rules", "_line_rules")
+
+    def __init__(
+        self,
+        file_rules: FrozenSet[str],
+        line_rules: Dict[int, FrozenSet[str]],
+    ) -> None:
+        self._file_rules = file_rules
+        self._line_rules = line_rules
+
+    @classmethod
+    def from_source(cls, source: str) -> "PragmaIndex":
+        """Scan ``source`` for pragmas (1-based line numbers)."""
+        file_rules: Set[str] = set()
+        line_rules: Dict[int, FrozenSet[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA_RE.search(text)
+            if match is None:
+                continue
+            rules = frozenset(
+                r.strip().lower() if r.strip().lower() == ALL else r.strip()
+                for r in match.group("rules").split(",")
+            )
+            if match.group("kind") == "disable-file":
+                file_rules |= rules
+            else:
+                line_rules[lineno] = line_rules.get(lineno, frozenset()) | rules
+        return cls(frozenset(file_rules), line_rules)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is suppressed for a finding on ``line``."""
+        if ALL in self._file_rules or rule in self._file_rules:
+            return True
+        on_line = self._line_rules.get(line)
+        return on_line is not None and (ALL in on_line or rule in on_line)
+
+    def __bool__(self) -> bool:
+        return bool(self._file_rules or self._line_rules)

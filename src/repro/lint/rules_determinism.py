@@ -1,0 +1,340 @@
+"""Per-file determinism rules: DET001–DET004 and IMP001.
+
+All four DET rules work on resolved dotted call names: the import
+table of each module maps local names back to the modules they came
+from (``import numpy as np`` → ``np.random.random`` resolves to
+``numpy.random.random``; ``from time import perf_counter as clock`` →
+``clock()`` resolves to ``time.perf_counter``), so aliasing cannot
+dodge the linter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.findings import SEV_ERROR, SEV_INFO, SEV_WARNING, Finding
+from repro.lint.project import Project
+from repro.lint.registry import rule
+
+# numpy.random attributes that only *construct seeded machinery* and
+# never draw — explicit-seed plumbing is exactly what engine.rng does.
+_SAFE_NP_RANDOM = frozenset(
+    {"SeedSequence", "BitGenerator", "PCG64", "PCG64DXSM", "MT19937",
+     "Philox", "SFC64"}
+)
+
+# Wall-clock reads (resolved dotted names). ``time.process_time`` and
+# CLOCK_* reads count too: any host-machine clock on the event path
+# couples simulated behavior to scheduler noise.
+_WALLCLOCK = frozenset(
+    {"time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+     "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+     "time.process_time_ns", "time.clock_gettime", "time.clock_gettime_ns",
+     "datetime.datetime.now", "datetime.datetime.utcnow",
+     "datetime.datetime.today", "datetime.date.today"}
+)
+
+
+class ImportTable:
+    """Local name → origin mapping for one module."""
+
+    __slots__ = ("modules", "names")
+
+    def __init__(self, tree: ast.Module) -> None:
+        # 'np' -> 'numpy'; 'random' -> 'random'
+        self.modules: Dict[str, str] = {}
+        # 'perf_counter' -> 'time.perf_counter'; 'datetime' -> 'datetime.datetime'
+        self.names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # 'import numpy.random' binds 'numpy'.
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.modules[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.names[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Resolve a Name/Attribute chain to its imported dotted origin."""
+        chain: List[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        chain.reverse()
+        root = node.id
+        if root in self.names:
+            return ".".join([self.names[root], *chain])
+        if root in self.modules:
+            return ".".join([self.modules[root], *chain])
+        return None
+
+
+def _calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+@rule(
+    "DET001",
+    severity=SEV_ERROR,
+    summary=(
+        "raw random.* / numpy.random draw or generator construction in a "
+        "sim-critical package; route randomness through "
+        "repro.engine.rng.RngRegistry"
+    ),
+)
+def det001_raw_random(project: Project) -> Iterator[Finding]:
+    """No untracked randomness on the event path.
+
+    Flags every call into the stdlib ``random`` module and every
+    ``numpy.random`` call except pure seeded-machinery constructors
+    (``SeedSequence``/bit generators). Constructing an
+    ``np.random.Generator`` directly is flagged too — outside the
+    blessed :mod:`repro.engine.rng` module a local generator bypasses
+    the keyed-stream registry that keeps draws stable as the code
+    evolves (a justified, documented ``# simlint: disable=DET001``
+    pragma is the escape hatch).
+    """
+    for f in project.files:
+        if not project.sim_critical(f) or project.rng_blessed(f):
+            continue
+        table = ImportTable(f.tree)
+        for call in _calls(f.tree):
+            dotted = table.resolve(call.func)
+            if dotted is None:
+                continue
+            if dotted.startswith("random."):
+                yield Finding(
+                    "DET001", SEV_ERROR, f.path, call.lineno, call.col_offset,
+                    f"call to stdlib {dotted}() in sim-critical code; use a "
+                    "seeded stream from repro.engine.rng.RngRegistry",
+                )
+            elif dotted.startswith("numpy.random."):
+                attr = dotted.split(".")[-1]
+                if attr in _SAFE_NP_RANDOM:
+                    continue
+                yield Finding(
+                    "DET001", SEV_ERROR, f.path, call.lineno, call.col_offset,
+                    f"call to {dotted}() in sim-critical code; draw from a "
+                    "keyed repro.engine.rng.RngRegistry stream instead",
+                )
+
+
+@rule(
+    "DET002",
+    severity=SEV_ERROR,
+    summary=(
+        "wall-clock read (time.*/datetime.now) on the event path; real "
+        "time is allowed only in telemetry packages"
+    ),
+)
+def det002_wall_clock(project: Project) -> Iterator[Finding]:
+    """No host-clock reads inside sim-critical packages."""
+    for f in project.files:
+        if not project.sim_critical(f) or project.wallclock_allowed(f):
+            continue
+        table = ImportTable(f.tree)
+        for call in _calls(f.tree):
+            dotted = table.resolve(call.func)
+            if dotted in _WALLCLOCK:
+                yield Finding(
+                    "DET002", SEV_ERROR, f.path, call.lineno, call.col_offset,
+                    f"wall-clock read {dotted}() on the event path; virtual "
+                    "time comes from the simulator, telemetry belongs in "
+                    "parallel/experiments",
+                )
+
+
+def _set_valued(node: ast.AST) -> bool:
+    """Whether an expression statically evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # Set algebra (a | b, a - b, ...) stays a set if either side is.
+        return _set_valued(node.left) or _set_valued(node.right)
+    return False
+
+
+def _set_assigned_names(tree: ast.Module) -> Set[str]:
+    """Names assigned a set-valued expression anywhere in the module."""
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and _set_valued(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if _set_valued(node.value) and isinstance(node.target, ast.Name):
+                out.add(node.target.id)
+    return out
+
+
+def _unordered_iter(node: ast.AST, set_names: Set[str]) -> Optional[str]:
+    """Describe why iterating ``node`` is order-unstable, or None."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"bare {func.id}(...)"
+        if isinstance(func, ast.Attribute) and func.attr == "keys":
+            # Literal dicts iterate in source order — deterministic.
+            if not isinstance(func.value, ast.Dict):
+                return ".keys() of a non-literal dict"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return f"set-valued name {node.id!r}"
+    return None
+
+
+def _iteration_sites(tree: ast.Module) -> Iterator[Tuple[ast.expr, int, int]]:
+    """Every ``for``-iterated expression (statements + comprehensions)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, node.iter.lineno, node.iter.col_offset
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                yield gen.iter, gen.iter.lineno, gen.iter.col_offset
+
+
+@rule(
+    "DET003",
+    severity=SEV_WARNING,
+    summary=(
+        "iteration over an unordered container (bare set / non-literal "
+        ".keys()) in sim-critical code without sorted(...)"
+    ),
+)
+def det003_unordered_iteration(project: Project) -> Iterator[Finding]:
+    """Event handlers must not depend on set/hash iteration order.
+
+    Set iteration order depends on hash seeds and insertion history;
+    a handler that walks one unsorted feeds hash noise straight into
+    the event schedule. Wrap the iterable in ``sorted(...)`` (the fix)
+    or a pragma (the documented exception).
+    """
+    for f in project.files:
+        if not project.sim_critical(f):
+            continue
+        set_names = _set_assigned_names(f.tree)
+        for expr, lineno, col in _iteration_sites(f.tree):
+            why = _unordered_iter(expr, set_names)
+            if why is not None:
+                yield Finding(
+                    "DET003", SEV_WARNING, f.path, lineno, col,
+                    f"iterating {why} in sim-critical code; wrap in "
+                    "sorted(...) to pin the order",
+                )
+
+
+@rule(
+    "DET004",
+    severity=SEV_WARNING,
+    summary=(
+        "float accumulation with sum() over an unordered (set-typed) "
+        "iterable in metrics/core"
+    ),
+)
+def det004_unordered_sum(project: Project) -> Iterator[Finding]:
+    """``sum()`` over a set re-associates float addition per hash order."""
+    for f in project.files:
+        if not project.float_sum_scope(f):
+            continue
+        set_names = _set_assigned_names(f.tree)
+        for call in _calls(f.tree):
+            if not (isinstance(call.func, ast.Name) and call.func.id == "sum"):
+                continue
+            if not call.args:
+                continue
+            arg = call.args[0]
+            why = _unordered_iter(arg, set_names)
+            if why is None and isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                for gen in arg.generators:
+                    why = _unordered_iter(gen.iter, set_names)
+                    if why is not None:
+                        break
+            if why is not None:
+                yield Finding(
+                    "DET004", SEV_WARNING, f.path, call.lineno, call.col_offset,
+                    f"sum() over {why}: float accumulation order follows "
+                    "hash order; sort the operands first",
+                )
+
+
+def _used_names(tree: ast.Module) -> Set[str]:
+    """Every Name referenced (loads/stores) outside import statements,
+    plus string entries of ``__all__``."""
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            pass  # the root Name is walked separately
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "__all__" in targets and isinstance(node.value, (ast.List, ast.Tuple)):
+                for elt in node.value.elts:
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                        used.add(elt.value)
+    return used
+
+
+@rule(
+    "IMP001",
+    severity=SEV_INFO,
+    summary="unused module-level import (dead-code hygiene)",
+)
+def imp001_unused_import(project: Project) -> Iterator[Finding]:
+    """Top-level imports never referenced in the module.
+
+    ``__init__.py`` files are skipped (imports there *are* the public
+    API), as are ``__future__`` imports and explicit re-export aliases
+    (``import x as x``).
+    """
+    for f in project.files:
+        if f.is_init:
+            continue
+        used = _used_names(f.tree)
+        for node in f.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.asname == alias.name:
+                        continue
+                    if local not in used:
+                        yield Finding(
+                            "IMP001", SEV_INFO, f.path, node.lineno,
+                            node.col_offset,
+                            f"import {alias.name!r} is never used",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    if alias.asname == alias.name:
+                        continue
+                    if local not in used:
+                        yield Finding(
+                            "IMP001", SEV_INFO, f.path, node.lineno,
+                            node.col_offset,
+                            f"imported name {local!r} is never used",
+                        )

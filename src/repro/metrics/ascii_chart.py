@@ -8,7 +8,7 @@ judged on — directly in the terminal.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 
 def sparkline(values: Sequence[float]) -> str:

@@ -102,7 +102,7 @@ class Topology:
                     raise ValueError(f"switch port used twice: {key}")
                 used_ports.add(key)
         n_ports = {s.switch_id: s.n_ports for s in self.switches}
-        for sw_id, port in used_ports:
+        for sw_id, port in sorted(used_ports):
             if sw_id not in n_ports:
                 raise ValueError(f"unknown switch {sw_id}")
             if not (0 <= port < n_ports[sw_id]):

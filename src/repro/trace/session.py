@@ -21,9 +21,10 @@ request, used to carry trace settings into pool workers
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.trace.auditor import TraceAuditor
+from repro.trace.records import TraceRecord
 from repro.trace.digest import DigestSink
 from repro.trace.sinks import JsonlSink, RingBufferSink
 from repro.trace.tracer import Tracer
@@ -78,13 +79,17 @@ class TraceSession:
         )
         sinks = [s for s in (self._digest_sink, self._jsonl, self._ring) if s is not None]
         self.tracer = Tracer(sinks, auditor=self.auditor)
-        self._sim = None
-        self._network = None
-        self._manager = None
-        self._closed = False
+        # Installed components (engine/network/core layers); Any avoids
+        # a trace -> network import cycle.
+        self._sim: Optional[Any] = None
+        self._network: Optional[Any] = None
+        self._manager: Optional[Any] = None
+        self._closed: bool = False
 
     # -- wiring --------------------------------------------------------
-    def install(self, sim, network=None, manager=None) -> "TraceSession":
+    def install(
+        self, sim: Any, network: Any = None, manager: Any = None
+    ) -> "TraceSession":
         """Attach the tracer to every instrumented component."""
         tracer = self.tracer
         self._sim = sim
@@ -147,7 +152,7 @@ class TraceSession:
         return self.auditor.violation_count if self.auditor else 0
 
     @property
-    def records(self) -> List:
+    def records(self) -> List[TraceRecord]:
         """Ring-buffered records (empty when the ring is disabled)."""
         return self._ring.records if self._ring else []
 

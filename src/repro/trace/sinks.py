@@ -14,9 +14,24 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import List, Optional
+from typing import Deque, List, Optional, Protocol, TextIO
 
 from repro.trace.records import TraceRecord
+
+
+class TraceSink(Protocol):
+    """The structural protocol every sink implements.
+
+    The :class:`~repro.trace.tracer.Tracer` only ever calls these two
+    methods; any object providing them (including test doubles) is a
+    valid sink.
+    """
+
+    def write(self, rec: TraceRecord) -> None:
+        """Consume one record."""
+
+    def close(self) -> None:
+        """Release resources; must be idempotent."""
 
 
 class RingBufferSink:
@@ -27,7 +42,7 @@ class RingBufferSink:
     def __init__(self, maxlen: int = 10_000) -> None:
         if maxlen <= 0:
             raise ValueError("ring buffer size must be positive")
-        self._buf: deque = deque(maxlen=maxlen)
+        self._buf: Deque[TraceRecord] = deque(maxlen=maxlen)
 
     def write(self, rec: TraceRecord) -> None:
         self._buf.append(rec)
@@ -51,10 +66,12 @@ class JsonlSink:
 
     def __init__(self, path: str) -> None:
         self.path = path
-        self._fh: Optional[object] = open(path, "w", buffering=1 << 16)
+        self._fh: Optional[TextIO] = open(path, "w", buffering=1 << 16)
         self.records_written = 0
 
     def write(self, rec: TraceRecord) -> None:
+        if self._fh is None:
+            raise ValueError("sink is closed")
         self._fh.write(json.dumps(rec, separators=(",", ":")))
         self._fh.write("\n")
         self.records_written += 1

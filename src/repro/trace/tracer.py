@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.trace.auditor import TraceAuditor
+from repro.trace.sinks import TraceSink
 from repro.trace.records import (
     EV_ACK,
     EV_BECN,
@@ -40,11 +41,11 @@ class Tracer:
 
     def __init__(
         self,
-        sinks: Sequence = (),
+        sinks: Sequence[TraceSink] = (),
         *,
         auditor: Optional[TraceAuditor] = None,
     ) -> None:
-        self.sinks: List = list(sinks)
+        self.sinks: List[TraceSink] = list(sinks)
         self.auditor = auditor
         self.records_emitted = 0
 
