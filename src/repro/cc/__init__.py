@@ -1,0 +1,50 @@
+"""Pluggable congestion control (the ``repro arena``'s subject).
+
+The paper studies one mechanism — InfiniBand's FECN/BECN CCT
+throttling. This package turns the mechanism into an axis: a
+:class:`CongestionControl` protocol extracted from the seed reaction
+point, a registry of implementations, and :class:`CCConfig` to select
+one per experiment. Shipped mechanisms:
+
+* ``"ib"`` — the paper's CCT mechanism (byte-identical default);
+* ``"dctcp"`` — ECN-fraction EWMA scaling;
+* ``"reno"`` — AIMD window-halving mapped to injection rate;
+* ``"dcqcn"`` — RCM-style reaction point with byte counter and
+  per-VL pause interaction.
+
+Importing the package registers all four.
+"""
+
+from repro.cc.base import FULL_RATE_SNAP, CongestionControl, RateBasedCC
+from repro.cc.config import (
+    DEFAULT_MECHANISM,
+    CCConfig,
+    cc_config_from_dict,
+    cc_config_to_dict,
+)
+from repro.cc.registry import (
+    MechanismSpec,
+    available_mechanisms,
+    mechanism_spec,
+    register_mechanism,
+)
+
+# Importing the mechanism modules runs their register_mechanism calls.
+from repro.cc import dcqcn as _dcqcn  # noqa: F401
+from repro.cc import dctcp as _dctcp  # noqa: F401
+from repro.cc import ib as _ib  # noqa: F401
+from repro.cc import reno as _reno  # noqa: F401
+
+__all__ = [
+    "FULL_RATE_SNAP",
+    "CongestionControl",
+    "RateBasedCC",
+    "DEFAULT_MECHANISM",
+    "CCConfig",
+    "cc_config_from_dict",
+    "cc_config_to_dict",
+    "MechanismSpec",
+    "available_mechanisms",
+    "mechanism_spec",
+    "register_mechanism",
+]

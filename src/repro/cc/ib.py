@@ -1,0 +1,50 @@
+"""The paper's IB FECN/BECN CCT mechanism, registered as ``"ib"``.
+
+The implementation *is* :class:`repro.core.hca_cc.HcaCC` — the
+registry entry only reroutes construction through the mechanism
+factory. ``prepare`` builds the shared CCT with the exact
+:func:`repro.core.cct.build_cct` call the manager always made, and the
+factory forwards it to ``HcaCC(hca, params, cct)`` unchanged, so a run
+selecting ``"ib"`` (explicitly or by default) replays the identical
+event stream: the golden digests in ``tests/golden/digests.json`` are
+the regression proof.
+
+The ``"ib"`` mechanism has no registry-level options: its knobs are
+the spec's own :class:`~repro.core.parameters.CCParams` (Table I),
+which every mechanism receives anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping
+
+from repro.cc.registry import register_mechanism
+from repro.core.cct import build_cct
+from repro.core.hca_cc import HcaCC
+from repro.core.parameters import CCParams
+
+
+def _prepare_cct(params: CCParams, options: Mapping[str, Any]) -> List[float]:
+    """Build the network-wide shared CCT (one table, every HCA)."""
+    return build_cct(
+        params.ccti_limit, shape=params.cct_shape, slope=params.cct_slope
+    )
+
+
+def _build_ib(
+    hca, params: CCParams, options: Mapping[str, Any], shared: List[float]
+) -> HcaCC:
+    return HcaCC(hca, params, shared)
+
+
+IB = register_mechanism(
+    "ib",
+    factory=_build_ib,
+    prepare=_prepare_cct,
+    defaults={},
+    description=(
+        "InfiniBand CCT throttling (the paper's mechanism): BECNs bump a "
+        "per-flow CCT index, a periodic timer decays it, the table entry "
+        "sets the injection-rate delay"
+    ),
+)

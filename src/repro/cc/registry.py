@@ -1,0 +1,96 @@
+"""The congestion-control mechanism registry.
+
+A mechanism is registered once, by name, with everything the
+:class:`~repro.core.manager.CCManager` needs to install it on a
+network:
+
+* ``prepare(params, options)`` — run once per network; returns shared
+  state every HCA's instance receives (the IB mechanism builds its CCT
+  here, exactly as the manager always did, which is what keeps the
+  default path byte-identical to the pre-registry code);
+* ``factory(hca, params, options, shared)`` — build one reaction-point
+  instance per HCA, satisfying :class:`repro.cc.base.CongestionControl`;
+* ``defaults`` — the mechanism's tunable options, the universe
+  :meth:`repro.cc.config.CCConfig.validate` checks overrides against.
+
+Registering a new mechanism is the documented extension point (see
+README "Congestion-control arena")::
+
+    from repro.cc import register_mechanism
+
+    register_mechanism(
+        "mine",
+        factory=lambda hca, params, options, shared: MyCC(hca, params, options),
+        defaults={"gain": 0.5},
+        description="my reaction point",
+    )
+
+Experiment cells then select it with ``CCConfig.make("mine", gain=1.0)``
+or ``--cc mine:gain=1.0`` on the CLI, and ``repro arena`` includes it
+in the cross-mechanism matrix automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+
+def _no_shared(params: Any, options: Mapping[str, Any]) -> None:
+    """Default ``prepare``: the mechanism needs no per-network state."""
+    return None
+
+
+@dataclass(frozen=True)
+class MechanismSpec:
+    """One registered congestion-control mechanism."""
+
+    name: str
+    factory: Callable[..., Any]
+    description: str = ""
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    prepare: Callable[[Any, Mapping[str, Any]], Any] = _no_shared
+
+
+_REGISTRY: Dict[str, MechanismSpec] = {}
+
+
+def register_mechanism(
+    name: str,
+    *,
+    factory: Callable[..., Any],
+    description: str = "",
+    defaults: Optional[Mapping[str, Any]] = None,
+    prepare: Callable[[Any, Mapping[str, Any]], Any] = _no_shared,
+    replace: bool = False,
+) -> MechanismSpec:
+    """Register (or with ``replace=True``, overwrite) a mechanism."""
+    if not name or not name.isidentifier():
+        raise ValueError(f"mechanism name must be an identifier (got {name!r})")
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"mechanism {name!r} is already registered")
+    spec = MechanismSpec(
+        name=name,
+        factory=factory,
+        description=description,
+        defaults=dict(defaults or {}),
+        prepare=prepare,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def mechanism_spec(name: str) -> MechanismSpec:
+    """Look a mechanism up; raises ``ValueError`` naming the options."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown CC mechanism {name!r}; registered: "
+            + ", ".join(available_mechanisms())
+        ) from None
+
+
+def available_mechanisms() -> Tuple[str, ...]:
+    """Registered mechanism names, sorted for deterministic listings."""
+    return tuple(sorted(_REGISTRY))

@@ -84,6 +84,19 @@ class HcaCC:
         state = self._states.get(self._key(flow, sl))
         return 0 if state is None else state.ccti
 
+    def rate_of(self, flow: FlowKey, sl: int = 0) -> float:
+        """Injection-rate fraction implied by the flow's CCT entry.
+
+        ``1 / (1 + CCT[i])``: the IRD spaces packets ``ser * (1 + CCT[i])``
+        apart, i.e. the flow runs at that fraction of link rate. This is
+        the :class:`repro.cc.base.CongestionControl` view of the same
+        state :meth:`ccti_of` exposes natively.
+        """
+        state = self._states.get(self._key(flow, sl))
+        if state is None or state.ccti <= 0:
+            return 1.0
+        return 1.0 / (1.0 + self.cct[state.ccti])
+
     # -- event hooks -------------------------------------------------
     def on_inject(self, pkt: Packet) -> None:
         """Track the flow's IRD horizon as a packet enters the obuf."""
@@ -158,3 +171,11 @@ class HcaCC:
     def throttled_flows(self) -> int:
         """Number of flows currently holding a non-zero CCTI."""
         return sum(1 for s in self._states.values() if s.ccti > 0)
+
+    def deepest_level(self) -> int:
+        """Deepest current CCT index (the mechanism's severity scale)."""
+        deepest = 0
+        for state in self._states.values():
+            if state.ccti > deepest:
+                deepest = state.ccti
+        return deepest

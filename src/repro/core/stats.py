@@ -28,6 +28,9 @@ class HcaCcStats:
     becns_applied: int
     cnps_sent: int
     throttled_flows: int
+    #: Severity of the deepest throttle on the mechanism's own integer
+    #: scale: the CCT index for ``"ib"``, percent slowdown for the
+    #: rate-based mechanisms (see ``CongestionControl.deepest_level``).
     deepest_ccti: int
     timer_fires: int
 
@@ -208,17 +211,13 @@ def snapshot_cc(network, manager) -> CcSnapshot:
     """Collect a :class:`CcSnapshot` from a live network + CC manager."""
     hcas = []
     for hca, hcc in zip(network.hcas, manager.hca_cc):
-        deepest = 0
-        for state in hcc._states.values():
-            if state.ccti > deepest:
-                deepest = state.ccti
         hcas.append(
             HcaCcStats(
                 node_id=hca.node_id,
                 becns_applied=hcc.becns_applied,
                 cnps_sent=hca.cnps_sent,
                 throttled_flows=hcc.throttled_flows(),
-                deepest_ccti=deepest,
+                deepest_ccti=hcc.deepest_level(),
                 timer_fires=hcc.timer_fires,
             )
         )

@@ -1,0 +1,253 @@
+"""The congestion-control arena: every mechanism against every scenario.
+
+The paper's Table II measures one mechanism (IB CCT throttling) against
+the *silent* congestion-tree scenario; its figures extend that to the
+*windy* (partial hotspot share) and *moving* (finite-lifetime hotspot)
+members of the taxonomy. The arena crosses the whole taxonomy with
+every registered :mod:`repro.cc` mechanism: per scenario it runs one
+shared no-CC baseline plus one CC-on cell per mechanism, and reports a
+Table-II-style matrix — hotspot / non-hotspot / total receive rates,
+fairness, and total-throughput improvement over the no-CC baseline.
+
+Scenarios (section V's taxonomy):
+
+* ``silent`` — static full-share hotspots from pure contributors
+  (the Table II mix: 80 % C, 20 % V);
+* ``windy``  — B nodes sending share ``p`` into the hotspot and the
+  rest uniformly (x = 0.5, p = 0.6: mid-grid of figures 5–8);
+* ``moving`` — hotspots relocate with a finite lifetime (figure 9(a)
+  mix), the scenario where the paper finds CC reacts too slowly.
+
+Run it as ``ibcc-repro arena`` (``--quick`` for a seconds-scale smoke
+matrix) or through :func:`run_arena`; both emit the matrix as text,
+CSV and JSON.
+"""
+
+from __future__ import annotations
+
+import io
+import csv
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cc import CCConfig, available_mechanisms
+from repro.experiments.config import SCALES, ExperimentConfig, ScaleProfile
+from repro.experiments.runner import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ArenaScenario:
+    """One taxonomy member: a config shaper plus its display name."""
+
+    name: str
+    b_fraction: float = 0.0
+    p: float = 0.5
+    c_fraction_of_rest: float = 0.8
+    moving: bool = False  # hotspots relocate (finite lifetime)
+
+    def base_config(
+        self, scale: ScaleProfile, *, seed: int, quick: bool
+    ) -> ExperimentConfig:
+        lifetime = None
+        if self.moving:
+            # The shortest of the scale's lifetimes: the regime where
+            # the paper finds the CCT mechanism reacting too slowly.
+            lifetime = min(scale.moving_lifetimes_ns)
+        cfg = ExperimentConfig(
+            scale=scale,
+            b_fraction=self.b_fraction,
+            p=self.p,
+            c_fraction_of_rest=self.c_fraction_of_rest,
+            hotspot_lifetime_ns=lifetime,
+            seed=seed,
+            name=f"arena-{self.name}",
+        )
+        if quick:
+            # Seconds-scale smoke matrix: enough simulated time for
+            # feedback loops to bite, not enough for paper numbers.
+            sim = 4e6 if self.moving else 2e6
+            cfg = cfg.with_(sim_time_ns=sim, warmup_ns=0.5e6)
+            if self.moving:
+                cfg = cfg.with_(hotspot_lifetime_ns=1e6)
+        return cfg
+
+
+#: The paper's scenario taxonomy, in presentation order.
+SCENARIOS = (
+    ArenaScenario(name="silent"),
+    ArenaScenario(name="windy", b_fraction=0.5, p=0.6),
+    ArenaScenario(name="moving", moving=True),
+)
+
+
+@dataclass
+class ArenaCell:
+    """One (scenario, mechanism) matrix entry."""
+
+    scenario: str
+    mechanism: str  # registered repro.cc name, or "off" for the baseline
+    result: ExperimentResult
+    baseline: Optional[ExperimentResult] = None  # the scenario's no-CC run
+
+    @property
+    def improvement(self) -> float:
+        """Total-throughput gain over the scenario's no-CC baseline."""
+        if self.baseline is None or self.baseline.total == 0:
+            return 1.0
+        return self.result.total / self.baseline.total
+
+    def row(self) -> Dict[str, object]:
+        res = self.result
+        return {
+            "scenario": self.scenario,
+            "cc_mechanism": self.mechanism,
+            "hotspot": res.hotspot,
+            "non_hotspot": res.non_hotspot,
+            "all_nodes": res.all_nodes,
+            "total": res.total,
+            "fairness": res.fairness(),
+            "fecn_marks": res.fecn_marks,
+            "becns": res.becns,
+            "improvement": self.improvement,
+        }
+
+
+@dataclass
+class ArenaResult:
+    """The full cross-mechanism matrix plus per-scenario baselines."""
+
+    scale: str
+    seed: int
+    mechanisms: List[str]
+    cells: List[ArenaCell] = field(default_factory=list)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Every matrix row (baselines first per scenario) as dicts."""
+        return [c.row() for c in self.cells]
+
+    def cell(self, scenario: str, mechanism: str) -> ArenaCell:
+        for c in self.cells:
+            if c.scenario == scenario and c.mechanism == mechanism:
+                return c
+        raise KeyError(f"no arena cell ({scenario!r}, {mechanism!r})")
+
+    def to_csv(self) -> str:
+        rows = self.rows()
+        out = io.StringIO()
+        writer = csv.DictWriter(out, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+        return out.getvalue()
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(
+            {
+                "scale": self.scale,
+                "seed": self.seed,
+                "mechanisms": self.mechanisms,
+                "scenarios": sorted({c.scenario for c in self.cells}),
+                "rows": self.rows(),
+            },
+            indent=indent,
+        )
+
+    def format(self) -> str:
+        """Table-II-style text matrix, one block per scenario."""
+        lines = [
+            f"Congestion-control arena (scale={self.scale}, seed={self.seed})",
+            "  receive rates in Gbit/s; improvement = total vs no-CC baseline",
+        ]
+        header = (
+            f"  {'mechanism':<10} {'hotspot':>9} {'non-hot':>9} "
+            f"{'total':>9} {'fairness':>9} {'improve':>8}"
+        )
+        for scenario in sorted({c.scenario for c in self.cells}):
+            lines.append(f"{scenario} scenario:")
+            lines.append(header)
+            for cell in self.cells:
+                if cell.scenario != scenario:
+                    continue
+                r = cell.row()
+                lines.append(
+                    f"  {r['cc_mechanism']:<10} {r['hotspot']:>9.3f} "
+                    f"{r['non_hotspot']:>9.3f} {r['total']:>9.3f} "
+                    f"{r['fairness']:>9.3f} {r['improvement']:>7.2f}x"
+                )
+        return "\n".join(lines)
+
+
+def run_arena(
+    scale: ScaleProfile | str = "default",
+    *,
+    mechanisms: Optional[Sequence[str]] = None,
+    scenarios: Sequence[ArenaScenario] = SCENARIOS,
+    seed: int = 7,
+    quick: bool = False,
+    jobs: int = 1,
+    cache=None,
+    retry=None,
+    timeout_s: float | None = None,
+    reporter=None,
+    manifest_path: str | None = None,
+    run_fn=None,
+    resume_from=None,
+) -> ArenaResult:
+    """Run the cross-mechanism matrix.
+
+    ``mechanisms`` defaults to every registered :mod:`repro.cc`
+    mechanism (importing the package registers the shipped four); an
+    entry may be a name or a tuned :class:`~repro.cc.CCConfig`.
+    Each scenario runs one no-CC baseline (shared across mechanisms —
+    it carries no ``cc_config``, so its cache entry is reused by any
+    later per-mechanism campaign) plus one CC-on cell per mechanism.
+    ``quick=True`` shrinks simulated time to a smoke-test matrix.
+    All executor knobs forward to :func:`repro.parallel.run_campaign`;
+    any cell failing after its retries raises
+    :class:`~repro.parallel.pool.CampaignError`.
+    """
+    from repro.parallel import run_campaign
+
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+    entries = list(mechanisms) if mechanisms is not None else list(available_mechanisms())
+    cc_configs = [
+        (m if isinstance(m, CCConfig) else CCConfig.make(m)).validate()
+        for m in entries
+    ]
+    names = [cc.mechanism for cc in cc_configs]
+    configs: List[ExperimentConfig] = []
+    for scenario in scenarios:
+        base = scenario.base_config(scale, seed=seed, quick=quick)
+        configs.append(base.with_(cc=False))
+        for cc in cc_configs:
+            configs.append(base.with_(cc=True, cc_config=cc))
+    campaign = run_campaign(
+        configs,
+        jobs=jobs,
+        cache=cache,
+        retry=retry,
+        timeout_s=timeout_s,
+        progress=reporter,
+        manifest_path=manifest_path,
+        run_fn=run_fn,
+        resume_from=resume_from,
+    ).raise_on_failure()
+    results = campaign.results
+    arena = ArenaResult(scale=scale.name, seed=seed, mechanisms=names)
+    stride = 1 + len(names)
+    for i, scenario in enumerate(scenarios):
+        baseline = results[i * stride]
+        arena.cells.append(
+            ArenaCell(scenario=scenario.name, mechanism="off", result=baseline)
+        )
+        for j, name in enumerate(names):
+            arena.cells.append(
+                ArenaCell(
+                    scenario=scenario.name,
+                    mechanism=name,
+                    result=results[i * stride + 1 + j],
+                    baseline=baseline,
+                )
+            )
+    return arena

@@ -11,6 +11,8 @@ Examples::
     ibcc-repro table2 --chaos 7                 # seeded random faults
     ibcc-repro table2 --faults flap.json        # explicit fault schedule
     ibcc-repro faults --transport --trace       # reliable-delivery runs
+    ibcc-repro table2 --cc dctcp                # swap the CC mechanism
+    ibcc-repro arena --quick                    # cross-mechanism matrix
     ibcc-repro store gc .ibcc-cache --purge     # drop quarantine sidecars
     ibcc-repro lint src/                        # simlint static analysis
     python -m repro table2 --scale paper        # full 648-node run
@@ -63,6 +65,38 @@ def parse_chaos(text: str):
     return ChaosSpec(seed=seed, **rates)
 
 
+def parse_cc(text: str):
+    """Parse ``--cc MECH[:key=value,...]`` into a :class:`CCConfig`.
+
+    Values parse as int, then float, then stay strings::
+
+        --cc reno
+        --cc dctcp:gain=0.125,ai=0.1
+
+    Raises ``ValueError`` on malformed input, unknown mechanisms, and
+    unknown option names (via :meth:`CCConfig.validate`).
+    """
+    from repro.cc import CCConfig
+
+    mech, _, params_part = text.partition(":")
+    params = {}
+    if params_part:
+        for item in params_part.split(","):
+            key, eq, val = item.partition("=")
+            if not eq or not key:
+                raise ValueError(
+                    f"bad CC parameter {item!r}; expected key=value"
+                )
+            for cast in (int, float):
+                try:
+                    val = cast(val)
+                    break
+                except ValueError:
+                    continue
+            params[key] = val
+    return CCConfig.make(mech, **params).validate()
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse parser for the ``ibcc-repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -75,10 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "artifact",
         choices=["table2", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b",
-                 "fig10", "faults"],
+                 "fig10", "faults", "arena"],
         help=(
             "which artifact to regenerate (faults = the fault-scenario "
-            "robustness table)"
+            "robustness table; arena = the cross-mechanism CC matrix)"
         ),
     )
     parser.add_argument(
@@ -188,6 +222,36 @@ def build_parser() -> argparse.ArgumentParser:
             "with backoff; faulted runs recover lost bytes or report "
             "explicitly FAILED flows instead of silently losing data "
             "(default: off, keeping the raw lossless fabric)"
+        ),
+    )
+    parser.add_argument(
+        "--cc",
+        default=None,
+        metavar="MECH[:key=value,...]",
+        help=(
+            "congestion-control mechanism for the CC-on cells "
+            "(registered repro.cc name — ib, dctcp, reno, dcqcn — with "
+            "optional option overrides, e.g. dctcp:gain=0.125); for the "
+            "arena artifact this restricts the matrix to one mechanism. "
+            "Default: ib, the paper's mechanism, byte-identical to "
+            "omitting the flag"
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "arena only: shrink simulated time to a seconds-scale "
+            "smoke matrix"
+        ),
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "arena only: also write the matrix as arena.csv and "
+            "arena.json under DIR"
         ),
     )
     parser.add_argument(
@@ -309,6 +373,23 @@ def main(argv=None) -> int:
     if args.recovery_stats is not None and not args.transport:
         print("--recovery-stats requires --transport", file=sys.stderr)
         return 2
+    if args.quick and args.artifact != "arena":
+        print("--quick applies only to the arena artifact", file=sys.stderr)
+        return 2
+    if args.transport and args.artifact == "arena":
+        print("the arena compares mechanisms on the raw lossless fabric; "
+              "--transport applies to the other artifacts", file=sys.stderr)
+        return 2
+    if args.out_dir is not None and args.artifact != "arena":
+        print("--out-dir applies only to the arena artifact", file=sys.stderr)
+        return 2
+    cc_config = None
+    if args.cc is not None:
+        try:
+            cc_config = parse_cc(args.cc)
+        except ValueError as exc:
+            print(f"--cc {args.cc!r}: {exc}", file=sys.stderr)
+            return 2
     transport = None
     if args.transport:
         from repro.transport import TransportConfig
@@ -340,6 +421,10 @@ def main(argv=None) -> int:
         print("the faults artifact has built-in scenarios; "
               "--faults/--chaos apply to the other artifacts", file=sys.stderr)
         return 2
+    if args.artifact == "arena" and faults is not None:
+        print("the arena compares mechanisms on a clean fabric; "
+              "--faults/--chaos apply to the other artifacts", file=sys.stderr)
+        return 2
     run_fn = None
     if args.trace:
         from repro.experiments.runner import TracedRun
@@ -357,8 +442,16 @@ def main(argv=None) -> int:
         resume_from=args.resume,
         transport=transport,
     )
-    if args.artifact != "faults":
+    if args.artifact not in ("faults", "arena"):
         campaign_kw["faults"] = faults
+    if args.artifact == "arena":
+        # The arena sweeps mechanisms itself; --cc restricts its matrix.
+        campaign_kw.pop("transport")
+        campaign_kw["quick"] = args.quick
+        if cc_config is not None:
+            campaign_kw["mechanisms"] = [cc_config]
+    else:
+        campaign_kw["cc_config"] = cc_config
 
     try:
         traced_results = _run_artifact(args, scale, campaign_kw)
@@ -448,6 +541,23 @@ def _run_artifact(args, scale, campaign_kw) -> list:
         table = run_fault_scenarios(scale, seed=args.seed, **campaign_kw)
         traced_results = [r for row in table.rows for r in (row.off, row.on)]
         print(table.format())
+    elif args.artifact == "arena":
+        from repro.experiments.arena import run_arena
+
+        arena = run_arena(scale, seed=args.seed, **campaign_kw)
+        traced_results = [c.result for c in arena.cells]
+        print(arena.format())
+        if args.out_dir is not None:
+            os.makedirs(args.out_dir, exist_ok=True)
+            csv_path = os.path.join(args.out_dir, "arena.csv")
+            json_path = os.path.join(args.out_dir, "arena.json")
+            with open(csv_path, "w") as fh:
+                fh.write(arena.to_csv())
+            with open(json_path, "w") as fh:
+                fh.write(arena.to_json())
+                fh.write("\n")
+            print(f"matrix written to {csv_path} and {json_path}",
+                  file=sys.stderr)
     return traced_results
 
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.cc.config import CCConfig
 from repro.core.parameters import CCParams
 from repro.faults.spec import ChaosSpec, FaultPlan, FaultSchedule
 from repro.transport.config import TransportConfig
@@ -133,6 +134,25 @@ class ExperimentConfig:
     # the raw lossless fabric and its golden digests byte-identical.
     # Like faults, part of the result-store content key.
     transport: Optional[TransportConfig] = None
+    # Congestion-control mechanism selection (repro.cc): which
+    # registered mechanism throttles when ``cc=True``, plus its option
+    # overrides. None (the default) means the paper's "ib" mechanism —
+    # byte-identical to the pre-arena code, and hashed identically in
+    # the result store. Ignored when ``cc=False``.
+    cc_config: Optional[CCConfig] = None
+
+    def resolved_cc_config(self) -> CCConfig:
+        """The effective mechanism selection (default: the paper's IB)."""
+        return self.cc_config if self.cc_config is not None else CCConfig()
+
+    @property
+    def cc_mechanism(self) -> str:
+        """The active mechanism name; ``"off"`` when CC is disabled.
+
+        This is the value the sweep CSV and run-manifest
+        ``cc_mechanism`` columns carry.
+        """
+        return self.resolved_cc_config().mechanism if self.cc else "off"
 
     def resolved_cc_params(self) -> CCParams:
         """The effective CC parameters (explicit override or scale defaults)."""
@@ -214,6 +234,17 @@ class ExperimentConfig:
             self.resolved_cc_params()
         except ValueError as exc:
             problems.append(f"cc_params: {exc}")
+        if self.cc_config is not None:
+            if not isinstance(self.cc_config, CCConfig):
+                problems.append(
+                    f"cc_config must be a CCConfig (got "
+                    f"{type(self.cc_config).__name__})"
+                )
+            else:
+                try:
+                    self.cc_config.validate()
+                except ValueError as exc:
+                    problems.append(f"cc_config: {exc}")
         if self.faults is not None and not isinstance(
             self.faults, (FaultSchedule, ChaosSpec)
         ):

@@ -185,6 +185,7 @@ def run_fault_scenarios(
     scenarios: Optional[Sequence[FaultScenario]] = None,
     seed: int = 7,
     transport=None,
+    cc_config=None,
     jobs: int = 1,
     cache=None,
     retry=None,
@@ -219,7 +220,7 @@ def run_fault_scenarios(
     for sc in scenarios:
         cfg = base.with_(name=f"fault-{sc.name}", faults=sc.plan)
         configs.append(cfg.with_(cc=False))
-        configs.append(cfg.with_(cc=True))
+        configs.append(cfg.with_(cc=True, cc_config=cc_config))
     campaign = run_campaign(
         configs,
         jobs=jobs,

@@ -104,6 +104,7 @@ def run_moving_figure(
     run_fn=None,
     faults=None,
     transport=None,
+    cc_config=None,
     resume_from=None,
 ) -> MovingFigure:
     """A lifetime sweep.
@@ -139,7 +140,7 @@ def run_moving_figure(
             transport=transport,
         )
         configs.append(cfg.with_(cc=False))
-        configs.append(cfg.with_(cc=True))
+        configs.append(cfg.with_(cc=True, cc_config=cc_config))
     campaign = run_campaign(
         configs,
         jobs=jobs,

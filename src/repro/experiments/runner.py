@@ -142,6 +142,11 @@ def config_slug(cfg: ExperimentConfig) -> str:
         f"seed{cfg.seed}",
         "cc" if cfg.cc else "nocc",
     ]
+    mechanism = cfg.resolved_cc_config().mechanism
+    if cfg.cc and mechanism != "ib":
+        # The paper's mechanism stays unsuffixed so every pre-arena
+        # slug (and the golden-digest keys) is unchanged.
+        parts.append(mechanism)
     if not cfg.contributors_active:
         parts.append("silent")
     if cfg.transport is not None:
@@ -188,7 +193,9 @@ def run_experiment(
 
     manager = None
     if cfg.cc:
-        manager = CCManager(cfg.resolved_cc_params()).install(network)
+        manager = CCManager(
+            cfg.resolved_cc_params(), cc_config=cfg.resolved_cc_config()
+        ).install(network)
 
     session = None
     if trace:

@@ -22,6 +22,7 @@ import logging
 import os
 from typing import Optional
 
+from repro.cc.config import cc_config_from_dict, cc_config_to_dict
 from repro.core.parameters import CCParams
 from repro.experiments.config import ExperimentConfig, ScaleProfile
 from repro.experiments.runner import ExperimentResult
@@ -82,6 +83,14 @@ def config_to_dict(cfg: ExperimentConfig) -> dict:
     out.pop("transport", None)
     if cfg.transport is not None:
         out["transport"] = transport_to_dict(cfg.transport)
+    # Default-mechanism configs (None, or an explicit untuned "ib")
+    # omit the key: their content hashes — and every result stored
+    # before the mechanism became selectable — are unchanged, and
+    # ``--cc ib`` reuses the pre-arena cache entries.
+    out.pop("cc_config", None)
+    cc_config = cfg.cc_config
+    if cc_config is not None and (cc_config.mechanism != "ib" or cc_config.params):
+        out["cc_config"] = cc_config_to_dict(cc_config)
     return out
 
 
@@ -132,11 +141,13 @@ def result_from_dict(data: dict) -> ExperimentResult:
     cc_params = cfg_data.pop("cc_params", None)
     faults = faults_from_dict(cfg_data.pop("faults", None))
     transport = transport_from_dict(cfg_data.pop("transport", None))
+    cc_config = cc_config_from_dict(cfg_data.pop("cc_config", None))
     cfg = ExperimentConfig(
         scale=scale,
         cc_params=CCParams(**cc_params) if cc_params else None,
         faults=faults,
         transport=transport,
+        cc_config=cc_config,
         **cfg_data,
     )
     return ExperimentResult(

@@ -43,6 +43,10 @@ class SweepCell:
             # Transport recovery telemetry: zero when transport is off.
             retx_packets=getattr(self.result, "retx_packets", 0),
             failed_flows=getattr(self.result, "failed_flows", 0),
+            # Which repro.cc mechanism throttled ("off" when cc=False).
+            cc_mechanism=getattr(
+                getattr(self.result, "config", None), "cc_mechanism", "off"
+            ),
         )
         return out
 
@@ -58,6 +62,7 @@ METRIC_FIELDS = (
     "fairness",
     "retx_packets",
     "failed_flows",
+    "cc_mechanism",
 )
 
 

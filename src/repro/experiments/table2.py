@@ -76,6 +76,7 @@ def run_table2(
     run_fn=None,
     faults=None,
     transport=None,
+    cc_config=None,
     resume_from=None,
 ) -> Table2Result:
     """Run the four phases of Table II at the given scale.
@@ -94,7 +95,10 @@ def run_table2(
     :class:`~repro.faults.ChaosSpec`) to every phase; ``transport``
     enables the reliable transport (a
     :class:`~repro.transport.TransportConfig`) in every phase;
-    ``resume_from`` replays a checkpointed run manifest.
+    ``cc_config`` (a :class:`~repro.cc.CCConfig`) selects the
+    congestion-control mechanism of the CC-on phases — the CC-off
+    phases stay mechanism-agnostic so every mechanism shares their
+    cache entries; ``resume_from`` replays a checkpointed run manifest.
     """
     from repro.parallel import run_campaign
 
@@ -106,9 +110,9 @@ def run_table2(
     )
     configs = [
         base.with_(cc=False, contributors_active=False),
-        base.with_(cc=True, contributors_active=False),
+        base.with_(cc=True, cc_config=cc_config, contributors_active=False),
         base.with_(cc=False),
-        base.with_(cc=True),
+        base.with_(cc=True, cc_config=cc_config),
     ]
     campaign = run_campaign(
         configs,

@@ -114,6 +114,7 @@ def run_windy_figure(
     run_fn=None,
     faults=None,
     transport=None,
+    cc_config=None,
     resume_from=None,
 ) -> WindyFigure:
     """A whole figure's sweep: figures 5 (x=.25) through 8 (x=1.0).
@@ -142,7 +143,7 @@ def run_windy_figure(
             transport=transport,
         )
         configs.append(cfg.with_(cc=False))
-        configs.append(cfg.with_(cc=True))
+        configs.append(cfg.with_(cc=True, cc_config=cc_config))
     campaign = run_campaign(
         configs,
         jobs=jobs,

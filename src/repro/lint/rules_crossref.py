@@ -129,6 +129,7 @@ _KEY_PAIRS: Tuple[Tuple[str, str], ...] = (
     ("FaultSpec", "FaultSpec.to_dict"),
     ("ChaosSpec", "ChaosSpec.to_dict"),
     ("TransportConfig", "transport_to_dict"),
+    ("CCConfig", "cc_config_to_dict"),
 )
 
 

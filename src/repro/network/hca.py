@@ -12,9 +12,14 @@ caps from the paper's testbed are modelled explicitly:
   backs up into the fabric and roots a congestion tree.
 
 CC hooks: on receiving a FECN-marked packet the sink immediately
-returns a CNP (BECN) to the source; on receiving a BECN the HCA-side CC
-state (:class:`repro.core.hca_cc.HcaCC`) increases the flow's CCT index
-so subsequent injections of that flow are spaced by the table's IRD.
+returns a CNP (BECN) to the source; on receiving a BECN the HCA-side
+reaction point (``self.cc``, any :class:`repro.cc.CongestionControl` —
+the paper's :class:`repro.core.hca_cc.HcaCC` CCT table by default,
+installed per the experiment's :class:`repro.cc.CCConfig`) deepens the
+flow's throttle so subsequent injections of that flow are spaced
+further apart (the CCT's IRD for ``"ib"``, ``ser / rate`` for the
+rate-based mechanisms). The dispatch here is mechanism-agnostic: the
+HCA only ever calls ``on_inject`` / ``on_becn`` / ``next_allowed``.
 """
 
 from __future__ import annotations
@@ -177,7 +182,7 @@ class Hca:
             sim, self, config.ibuf_capacity, config.sink_rate_gbps, config.n_vls
         )
         self.gen = None  # pluggable traffic source (repro.traffic)
-        self.cc = None  # HcaCC, installed by the CC manager
+        self.cc = None  # CongestionControl (repro.cc), installed by CCManager
         self.metrics = None  # collector (repro.metrics), or None
         self.trace = None  # tracer (repro.trace), or None
         self.cnp_fault = None  # CnpFaultFilter (repro.faults), or None

@@ -39,6 +39,9 @@ class CellRecord:
     # Permanently FAILED transport flows, when the cell ran on the
     # reliable transport (repro.transport); None when transport was off.
     failed_flows: Optional[int] = None
+    # Which congestion-control mechanism the cell ran ("off" when
+    # cc=False); None only for manifests written before repro.cc.
+    cc_mechanism: Optional[str] = None
 
 
 @dataclass
@@ -108,6 +111,7 @@ class RunManifest:
                     is not None
                     else None
                 ),
+                cc_mechanism=getattr(outcome.config, "cc_mechanism", None),
             )
         )
 

@@ -15,6 +15,8 @@ invariants:
   (the fabric never fabricates data, even when it loses some);
 * **CCTI bounds** — every CCT-index change lands in
   ``[0, CCTI_Limit]`` (also under CNP loss/duplication faults);
+* **rate bounds** — every rate change of a rate-based mechanism
+  (:mod:`repro.cc`) lands in ``(0, 1]`` of link rate;
 * **flag consistency** — BECN rides only control packets (CNPs), CNPs
   always carry BECN, FECN never appears on control packets, and
   packets are only delivered to their addressed destination;
@@ -60,6 +62,7 @@ from repro.trace.records import (
     EV_FLOW_FAILED,
     EV_FLOWSUM,
     EV_INJECT,
+    EV_RATE,
     EV_RETX,
     EV_RX,
     EV_TIMER,
@@ -210,6 +213,16 @@ class TraceAuditor:
                 self._violate(
                     f"CCTI {new} outside [0, {self.ccti_limit}]", rec
                 )
+        elif etype == EV_RATE:
+            # (rate, t, node, ksrc, kdst, old, new) — rate-based
+            # mechanisms (repro.cc) keep injection-rate fractions in
+            # (0, 1]; a rate record outside that range means a clamp
+            # was bypassed.
+            old, new = rec[5], rec[6]
+            if not 0.0 < new <= 1.0:
+                self._violate(f"injection rate {new} outside (0, 1]", rec)
+            if not 0.0 < old <= 1.0:
+                self._violate(f"prior injection rate {old} outside (0, 1]", rec)
         elif etype == EV_BECN:
             # (becn, t, node, src, dst, sl) — the notified node must be
             # the flow's source (BECNs throttle the injector).

@@ -27,6 +27,12 @@ tag       fields after ``(tag, t, ...)``
           ``(src, dst)``
 ``ccti``  ``node, ksrc, kdst, old, new`` — a flow's CCT index changed;
           in SL mode the key is encoded ``(-1, sl)``
+``rate``  ``node, ksrc, kdst, old, new`` — a rate-based mechanism
+          (:mod:`repro.cc`) moved a flow's injection-rate fraction;
+          both rates in ``(0, 1]``, key encoded as for ``ccti``. The
+          IB mechanism never emits this (its ``ccti`` records carry
+          the same information), which keeps default traces
+          byte-identical
 ``timer`` ``node, decremented`` — recovery timer fired, decrementing
           ``decremented`` flow indices
 ``fault`` ``action, kind, node, port, value`` — a fault-injection
@@ -84,6 +90,7 @@ EV_FECN = "fecn"
 EV_CNP = "cnp"
 EV_BECN = "becn"
 EV_CCTI = "ccti"
+EV_RATE = "rate"
 EV_TIMER = "timer"
 EV_FAULT = "fault"
 EV_DROP = "drop"
@@ -101,6 +108,7 @@ ALL_EVENTS = (
     EV_CNP,
     EV_BECN,
     EV_CCTI,
+    EV_RATE,
     EV_TIMER,
     EV_FAULT,
     EV_DROP,

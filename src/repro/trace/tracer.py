@@ -26,6 +26,7 @@ from repro.trace.records import (
     EV_FLOW_FAILED,
     EV_FLOWSUM,
     EV_INJECT,
+    EV_RATE,
     EV_RETX,
     EV_RX,
     EV_TIMER,
@@ -107,6 +108,11 @@ class Tracer:
         self, t: float, node: int, ksrc: int, kdst: int, old: int, new: int
     ) -> None:
         self.emit((EV_CCTI, t, node, ksrc, kdst, old, new))
+
+    def rate_change(
+        self, t: float, node: int, ksrc: int, kdst: int, old: float, new: float
+    ) -> None:
+        self.emit((EV_RATE, t, node, ksrc, kdst, old, new))
 
     def timer_fire(self, t: float, node: int, decremented: int) -> None:
         self.emit((EV_TIMER, t, node, decremented))

@@ -158,6 +158,72 @@ class TestTransportFlags:
         assert cell["flow_health"][0]["dst"] == 3
 
 
+class TestCcFlags:
+    def test_arena_artifact_accepted(self):
+        args = build_parser().parse_args(["arena", "--quick"])
+        assert args.artifact == "arena"
+        assert args.quick is True
+
+    def test_parse_cc(self):
+        from repro.experiments.cli import parse_cc
+
+        cc = parse_cc("reno")
+        assert cc.mechanism == "reno" and cc.params == ()
+        cc = parse_cc("dctcp:gain=0.125,ai=0.1")
+        assert cc.mechanism == "dctcp"
+        assert cc.params_dict() == {"gain": 0.125, "ai": 0.1}
+        with pytest.raises(ValueError):
+            parse_cc("warp_drive")
+        with pytest.raises(ValueError):
+            parse_cc("reno:warp=1")
+
+    def test_bad_cc_spec_is_exit_code_2(self):
+        assert main(["table2", "--cc", "warp_drive"]) == 2
+        assert main(["table2", "--cc", "reno:warp=1"]) == 2
+
+    def test_quick_and_out_dir_are_arena_only(self, tmp_path):
+        assert main(["table2", "--quick"]) == 2
+        assert main(["table2", "--out-dir", str(tmp_path)]) == 2
+
+    def test_arena_rejects_faults_chaos_and_transport(self):
+        assert main(["arena", "--chaos", "7"]) == 2
+        assert main(["arena", "--faults", "a.json"]) == 2
+        assert main(["arena", "--transport"]) == 2
+
+    def test_arena_quick_smoke(self, capsys, tmp_path):
+        """The acceptance run: full quick matrix + CSV/JSON artifacts."""
+        assert main(
+            ["arena", "--quick", "--scale", "quick",
+             "--out-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Congestion-control arena" in out
+        for scenario in ("silent", "windy", "moving"):
+            assert f"{scenario} scenario:" in out
+        for mechanism in ("off", "ib", "dctcp", "reno", "dcqcn"):
+            assert mechanism in out
+
+        import csv as csv_mod
+        import json
+
+        with open(tmp_path / "arena.csv") as fh:
+            rows = list(csv_mod.DictReader(fh))
+        assert {r["scenario"] for r in rows} == {"silent", "windy", "moving"}
+        assert {r["cc_mechanism"] for r in rows} == {
+            "off", "ib", "dctcp", "reno", "dcqcn"
+        }
+        data = json.loads((tmp_path / "arena.json").read_text())
+        assert set(data["mechanisms"]) == {"ib", "dctcp", "reno", "dcqcn"}
+
+    def test_single_mechanism_arena_via_cc_flag(self, capsys):
+        assert main(
+            ["arena", "--quick", "--scale", "quick", "--cc", "reno"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "reno" in out
+        assert "dctcp" not in out
+
+
 class TestStoreGc:
     def test_gc_lists_then_purges(self, capsys, tmp_path):
         (tmp_path / "aaaa.json.corrupt").write_text("not json{")

@@ -385,6 +385,44 @@ def test_key001_clean_on_complete_serializers(tmp_path):
     assert report.findings == []
 
 
+def test_key001_fires_on_cc_config_missing_params(tmp_path):
+    report = lint_tree(tmp_path, {
+        "cc/config.py": """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class CCConfig:
+                mechanism: str = "ib"
+                params: tuple = ()
+
+            def cc_config_to_dict(cc):
+                return {"mechanism": cc.mechanism}
+            """,
+    }, rules=["KEY001"])
+    assert rule_ids(report) == ["KEY001"]
+    assert "CCConfig.params" in report.findings[0].message
+
+
+def test_key001_clean_on_complete_cc_config_serializer(tmp_path):
+    report = lint_tree(tmp_path, {
+        "cc/config.py": """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class CCConfig:
+                mechanism: str = "ib"
+                params: tuple = ()
+
+            def cc_config_to_dict(cc):
+                return {
+                    "mechanism": cc.mechanism,
+                    "params": dict(cc.params),
+                }
+            """,
+    }, rules=["KEY001"])
+    assert report.findings == []
+
+
 def test_key001_pragma_suppresses(tmp_path):
     report = lint_tree(tmp_path, {
         "config.py": """\
@@ -412,6 +450,7 @@ REAL_KEY_FILES = (
     "repro/experiments/store.py",
     "repro/faults/spec.py",
     "repro/transport/config.py",
+    "repro/cc/config.py",
 )
 
 

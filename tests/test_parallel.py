@@ -167,6 +167,7 @@ class TestSerialIdentity:
                 fairness=res.fairness(),
                 retx_packets=res.retx_packets,
                 failed_flows=res.failed_flows,
+                cc_mechanism=res.config.cc_mechanism,
             )
             rows.append(row)
         out = _io.StringIO()
