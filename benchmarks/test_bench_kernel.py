@@ -1,0 +1,125 @@
+"""Event-kernel benchmark: heap vs calendar queue, micro and macro.
+
+Two measurements land in ``BENCH_kernel.json`` at the repository root:
+
+* **churn microbench** — hold a deep backlog (3000 pending events) and
+  measure pop+push pairs. This is the regime the calendar queue exists
+  for: the binary heap pays O(log n) tuple comparisons per operation
+  while the calendar's cost stays flat in the backlog depth. The bench
+  *asserts* the calendar wins here; rounds are interleaved and the
+  per-implementation minimum is taken, because single-core CI hosts
+  show +/-15% wall-clock drift between back-to-back runs.
+* **Table II macro runs** — one full quick-scale campaign per
+  scheduler, recorded but deliberately *not* asserted: at quick scale
+  the fabric holds only ~100 pending events (log2 ~ 7 C-speed
+  comparisons), so the C-implemented ``heapq`` is at parity or ahead,
+  and the measurement sits inside machine noise. The crossover to
+  calendar territory comes with backlog depth (paper scale: radix-36,
+  648 hosts).
+"""
+
+import json
+import os
+import time
+
+from repro.engine.scheduler import SCHEDULERS
+from repro.experiments import run_table2
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DATAPOINT_PATH = os.path.join(REPO_ROOT, "BENCH_kernel.json")
+
+BACKLOG = 3000
+OP_PAIRS = 60_000
+ROUNDS = 5
+
+
+def _noop() -> None:
+    pass
+
+
+def _churn_once(factory) -> float:
+    """Seconds for OP_PAIRS pop+push pairs at a steady BACKLOG depth."""
+    sched = factory()
+    # Backlog spread over ~40 calendar buckets' worth of horizon, with
+    # deterministic sub-bucket jitter (no RNG: keep rounds comparable).
+    horizon = 10_000.0
+    for seq in range(BACKLOG):
+        t = (seq * 7919) % 10_000 + (seq % 97) / 97.0
+        sched.push(t, seq, _noop, None)
+    seq = BACKLOG
+    push = sched.push
+    pop = sched.pop
+    t0 = time.perf_counter()
+    for _ in range(OP_PAIRS):
+        entry = pop(None)
+        t = entry[0]
+        push(t + horizon + (seq % 89) / 89.0, seq, _noop, None)
+        seq += 1
+    elapsed = time.perf_counter() - t0
+    assert len(sched) == BACKLOG
+    return elapsed
+
+
+def _interleaved_min(factories: dict) -> dict:
+    """Best-of-ROUNDS per impl, rounds interleaved to cancel drift."""
+    best = {name: float("inf") for name in factories}
+    for _ in range(ROUNDS):
+        for name, factory in factories.items():
+            best[name] = min(best[name], _churn_once(factory))
+    return best
+
+
+def test_bench_kernel(benchmark, scale, seed):
+    churn = benchmark.pedantic(
+        _interleaved_min, args=(dict(SCHEDULERS),), rounds=1, iterations=1
+    )
+    ns_per_pair = {
+        name: secs / OP_PAIRS * 1e9 for name, secs in churn.items()
+    }
+
+    macro = {}
+    for name in SCHEDULERS:
+        os.environ["REPRO_SCHEDULER"] = name
+        try:
+            t0 = time.perf_counter()
+            run_table2(scale, seed=seed)
+            macro[name] = round(time.perf_counter() - t0, 3)
+        finally:
+            os.environ.pop("REPRO_SCHEDULER", None)
+
+    datapoint = {
+        "benchmark": "event_kernel",
+        "churn_backlog_events": BACKLOG,
+        "churn_ns_per_op_pair": {
+            name: round(v, 1) for name, v in ns_per_pair.items()
+        },
+        "table2_seconds": {
+            "scale": scale.name,
+            "seed": seed,
+            **macro,
+        },
+        "notes": (
+            "churn = interleaved best-of-5 at a 3000-event backlog, the "
+            "deep-queue regime the calendar targets; table2 quick holds "
+            "~100 pending events, where C heapq is at parity and the "
+            "numbers sit inside single-core machine noise (~15%)"
+        ),
+    }
+    with open(DATAPOINT_PATH, "w") as fh:
+        json.dump(datapoint, fh, indent=2)
+        fh.write("\n")
+
+    print()
+    print("churn ns/op-pair: " + ", ".join(
+        f"{name} {v:.0f}" for name, v in ns_per_pair.items()
+    ))
+    print("table2 ({}): ".format(scale.name) + ", ".join(
+        f"{name} {secs:.2f}s" for name, secs in macro.items()
+    ))
+
+    # The one enforced claim: at depth, the calendar beats the heap.
+    assert ns_per_pair["calendar"] < ns_per_pair["heapq"], (
+        "calendar queue lost its deep-backlog advantage: "
+        f"{ns_per_pair['calendar']:.0f} vs {ns_per_pair['heapq']:.0f} "
+        "ns per pop+push pair at a 3000-event backlog"
+    )

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.parameters import CCParams
-from repro.network.packet import Packet
+from repro.network.packet import FLAG_FECN, Packet
 
 
 class SwitchCC:
@@ -94,7 +94,7 @@ class SwitchCC:
         if skip[vl] > 0:
             skip[vl] -= 1
             return
-        pkt.fecn = True
+        pkt.flags |= FLAG_FECN
         self.marks += 1
         skip[vl] = params.marking_rate
         if self.trace is not None:

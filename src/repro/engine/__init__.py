@@ -11,6 +11,22 @@ path performs only additions and comparisons.
 """
 
 from repro.engine.simulator import Simulator, SimulationError
+from repro.engine.scheduler import (
+    SCHEDULERS,
+    CalendarScheduler,
+    HeapScheduler,
+    make_scheduler,
+    scheduler_from_env,
+)
 from repro.engine.rng import RngRegistry
 
-__all__ = ["Simulator", "SimulationError", "RngRegistry"]
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "RngRegistry",
+    "SCHEDULERS",
+    "HeapScheduler",
+    "CalendarScheduler",
+    "make_scheduler",
+    "scheduler_from_env",
+]

@@ -1,0 +1,220 @@
+"""Pluggable event schedulers for the simulation kernel.
+
+The :class:`~repro.engine.simulator.Simulator` stores pending events in
+a scheduler chosen at construction time. Two implementations ship:
+
+* :class:`HeapScheduler` — the reference implementation, a binary heap
+  of ``(time, seq, fn, arg)`` tuples (``heapq``). Simple, O(log n) per
+  operation, and the historical behavior of the kernel.
+* :class:`CalendarScheduler` — a bucketed calendar queue. Events are
+  appended O(1) into fixed-width time buckets (a dict keyed by
+  ``floor(time / width)``); a bucket is sorted once, when the clock
+  enters it. Pop is then an index increment. Because the typical event
+  horizon of the simulated fabric is a few microseconds of tightly
+  clustered byte-times, most pushes land in a handful of live buckets
+  and the per-event constant factor beats the heap's tuple
+  comparisons.
+
+Both produce the **identical pop order** — ascending ``(time, seq)``,
+with the sequence number breaking timestamp ties in scheduling order —
+so a run's trace digest is invariant under scheduler choice. That
+equivalence is enforced by ``tests/test_scheduler_differential.py``
+(hypothesis property suite over random schedule/cancel sequences) and
+by the golden-digest suites, which pin byte-identical digests for both
+schedulers.
+
+Selection: pass ``scheduler=`` to :class:`Simulator`, or set the
+``REPRO_SCHEDULER`` environment variable (``heapq`` | ``calendar``).
+The scheduler is a *performance* knob, not a behavioral one: it never
+participates in experiment store keys, and cache entries are shared
+across scheduler choices because the results are bit-equal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from bisect import insort
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+#: Environment variable selecting the default scheduler.
+ENV_SCHEDULER = "REPRO_SCHEDULER"
+
+#: One pending event: ``(time, seq, fn, arg)``. ``seq`` is unique, so
+#: tuple comparison never reaches the (uncomparable) callable.
+Entry = Tuple[float, int, Callable, Any]
+
+
+class HeapScheduler:
+    """The reference binary-heap event queue (``heapq``)."""
+
+    name = "heapq"
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: List[Entry] = []
+
+    def push(self, time: float, seq: int, fn: Callable, arg: Any) -> None:
+        """Insert one event."""
+        heapq.heappush(self._heap, (time, seq, fn, arg))
+
+    def pop(self, until: Optional[float] = None) -> Optional[Entry]:
+        """Remove and return the earliest event.
+
+        Returns ``None`` when the queue is empty or the head fires
+        after ``until`` (the head is left queued).
+        """
+        heap = self._heap
+        if not heap:
+            return None
+        if until is not None and heap[0][0] > until:
+            return None
+        return heapq.heappop(heap)
+
+    def peek(self) -> Optional[Entry]:
+        """The earliest event without removing it (None when empty)."""
+        heap = self._heap
+        return heap[0] if heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class CalendarScheduler:
+    """A bucketed calendar queue with sort-on-entry buckets.
+
+    Events are binned into fixed-width time buckets. ``push`` appends
+    to the bucket list (amortized O(1)); when the clock advances into a
+    bucket it is sorted once (Timsort, C speed) and drained by an index
+    pointer. A sparse heap of live bucket indices finds the next
+    non-empty bucket without scanning empty ones, so far-future events
+    (retransmission timers, hotspot moves) cost nothing until due.
+
+    An event scheduled into the bucket currently being drained — the
+    common ``schedule(0.0, ...)`` and sub-bucket-delay cases — is
+    inserted into the sorted remainder with :func:`bisect.insort`,
+    preserving exact ``(time, seq)`` order.
+
+    ``width_ns`` trades bucket count against bucket size; the default
+    suits the fabric's event horizon (packet byte-times ~0.8 µs,
+    propagation 50 ns). Any width produces the identical pop order —
+    it only moves work between ``sort`` and ``insort``.
+    """
+
+    name = "calendar"
+
+    __slots__ = ("_buckets", "_bucket_heap", "_cur", "_pos", "_cur_idx",
+                 "_inv_width", "_len")
+
+    def __init__(self, width_ns: float = 256.0) -> None:
+        if width_ns <= 0:
+            raise ValueError("bucket width must be positive")
+        self._buckets: Dict[int, List[Entry]] = {}
+        self._bucket_heap: List[int] = []
+        self._cur: List[Entry] = []
+        self._pos = 0
+        # Index of the bucket `_cur` was sliced from. Starts below any
+        # real bucket so the first push never takes the insort path.
+        self._cur_idx = -1
+        self._inv_width = 1.0 / width_ns
+        self._len = 0
+
+    def push(self, time: float, seq: int, fn: Callable, arg: Any) -> None:
+        """Insert one event."""
+        idx = int(time * self._inv_width)
+        self._len += 1
+        if idx <= self._cur_idx and self._pos < len(self._cur):
+            # Lands in (or, at a float boundary, just before) the
+            # bucket being drained: keep the remainder sorted. `time`
+            # is never below the clock, so lo=_pos is always valid.
+            insort(self._cur, (time, seq, fn, arg), self._pos)
+            return
+        bucket = self._buckets.get(idx)
+        if bucket is None:
+            self._buckets[idx] = [(time, seq, fn, arg)]
+            heapq.heappush(self._bucket_heap, idx)
+        else:
+            bucket.append((time, seq, fn, arg))
+
+    def _advance(self) -> bool:
+        """Move ``_cur`` to the next non-empty bucket; False when none."""
+        bucket_heap = self._bucket_heap
+        buckets = self._buckets
+        while bucket_heap:
+            idx = heapq.heappop(bucket_heap)
+            bucket = buckets.pop(idx, None)
+            if bucket:
+                bucket.sort()
+                self._cur = bucket
+                self._pos = 0
+                self._cur_idx = idx
+                return True
+        return False
+
+    def pop(self, until: Optional[float] = None) -> Optional[Entry]:
+        """Remove and return the earliest event (see HeapScheduler)."""
+        pos = self._pos
+        cur = self._cur
+        if pos >= len(cur):
+            if not self._advance():
+                return None
+            pos = self._pos
+            cur = self._cur
+        entry = cur[pos]
+        if until is not None and entry[0] > until:
+            return None
+        self._pos = pos + 1
+        self._len -= 1
+        return entry
+
+    def peek(self) -> Optional[Entry]:
+        """The earliest event without removing it (None when empty)."""
+        if self._pos < len(self._cur):
+            return self._cur[self._pos]
+        if not self._advance():
+            return None
+        return self._cur[self._pos]
+
+    def __len__(self) -> int:
+        return self._len
+
+
+#: Registry of selectable schedulers. ``repro.lint`` rule SCH001
+#: cross-references these keys against the CLI's ``--scheduler``
+#: choices so the two can never drift apart.
+SCHEDULERS: Dict[str, Callable[[], Union[HeapScheduler, CalendarScheduler]]] = {
+    "heapq": HeapScheduler,
+    "calendar": CalendarScheduler,
+}
+
+Scheduler = Union[HeapScheduler, CalendarScheduler]
+
+
+def scheduler_from_env() -> str:
+    """The scheduler name selected by ``REPRO_SCHEDULER`` (default heapq)."""
+    name = os.environ.get(ENV_SCHEDULER, "").strip().lower()
+    return name if name else "heapq"
+
+
+def make_scheduler(choice: Union[str, Scheduler, None] = None) -> Scheduler:
+    """Resolve a scheduler selection into a fresh scheduler instance.
+
+    ``choice`` may be a registry name, an already-built scheduler
+    (returned as-is), or ``None`` — which consults ``REPRO_SCHEDULER``
+    and falls back to the heap reference implementation.
+    """
+    if choice is None:
+        choice = scheduler_from_env()
+    if isinstance(choice, str):
+        try:
+            factory = SCHEDULERS[choice]
+        except KeyError:
+            raise ValueError(
+                f"unknown scheduler {choice!r} (choose from "
+                f"{', '.join(sorted(SCHEDULERS))})"
+            ) from None
+        return factory()
+    if not (hasattr(choice, "push") and hasattr(choice, "pop")):
+        raise TypeError(f"not a scheduler: {choice!r}")
+    return choice

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import gc
 import os
 import time
 from dataclasses import dataclass
@@ -19,6 +20,7 @@ from repro.metrics.analysis import group_rates, jain_fairness, tmax_gbps
 from repro.metrics.collector import Collector
 from repro.network.hca import HcaConfig
 from repro.network.network import Network, NetworkConfig
+from repro.network.packet import sync_pool_env
 from repro.topology.fattree import three_stage_fat_tree
 from repro.trace.session import TraceSession, TraceSpec
 from repro.traffic.generators import BNodeSource
@@ -177,6 +179,7 @@ def run_experiment(
     metrics.
     """
     cfg.validate()
+    sync_pool_env()  # honor REPRO_PACKET_POOL, like REPRO_SCHEDULER below
     topo = three_stage_fat_tree(cfg.scale.radix)
     n_hosts = topo.n_hosts
     sim_time = cfg.resolved_sim_time()
@@ -248,9 +251,19 @@ def run_experiment(
     schedule.install(sim, network.hcas)
 
     started = time.perf_counter()
+    # The event loop churns short-lived tuples and packets whose
+    # reference graphs are acyclic — refcounting alone reclaims them.
+    # Suppressing the cyclic collector for the run avoids its periodic
+    # full-heap scans on the hot path; one collection afterwards cleans
+    # up whatever cycles construction left behind.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
     try:
         network.run(until=sim_time)
     finally:
+        if gc_was_enabled:
+            gc.enable()
+            gc.collect()
         # Seal transport flow summaries into the trace (the strict
         # conservation check closes over them) before the session does.
         if transport_layer is not None:

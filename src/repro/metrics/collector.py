@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.network.packet import Packet
+from repro.network.packet import FLAG_CONTROL, FLAG_FECN, Packet
 
 
 class Collector:
@@ -52,7 +52,7 @@ class Collector:
     # -- hooks called by HCAs ------------------------------------------
     def record_rx(self, node: int, pkt: Packet, now: float) -> None:
         """Account one delivered packet at ``node``."""
-        if pkt.is_control:
+        if pkt.flags & FLAG_CONTROL:
             if now >= self.warmup_ns:
                 self.control_rx += 1
             return
@@ -60,7 +60,7 @@ class Collector:
             return
         self.rx_bytes[node] += pkt.payload
         self.rx_packets[node] += 1
-        if pkt.fecn:
+        if pkt.flags & FLAG_FECN:
             self.fecn_rx += 1
         if self.track_pairs:
             key = (pkt.src, node)
@@ -68,7 +68,7 @@ class Collector:
 
     def record_tx(self, node: int, pkt: Packet, now: float) -> None:
         """Account one injected packet at ``node``."""
-        if pkt.is_control or now < self.warmup_ns:
+        if pkt.flags & FLAG_CONTROL or now < self.warmup_ns:
             return
         self.tx_bytes[node] += pkt.payload
         self.tx_packets[node] += 1

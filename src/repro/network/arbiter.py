@@ -69,30 +69,35 @@ class VLArbiter:
             return
         self._kicking = True
         try:
-            out = self.switch.output_ports[self.out_index]
+            out_index = self.out_index
+            out = self.switch.output_ports[out_index]
             inputs = self.switch.input_ports
             n_vls = self.n_vls
+            active = self._active
+            is_active = self._is_active
+            queued_bytes = self.queued_bytes
+            capacity = out.capacity
             while True:
                 granted = False
                 for _ in range(n_vls):
                     vl = self._rr_vl
-                    self._rr_vl = (vl + 1) % n_vls
-                    act = self._active[vl]
+                    self._rr_vl = vl + 1 if vl + 1 < n_vls else 0
+                    act = active[vl]
                     if not act:
                         continue
-                    ip = act[0]
-                    voq = inputs[ip].voqs[self.out_index][vl]
-                    pkt = voq[0]
-                    if not out.has_space(pkt.wire_size):
+                    inp = inputs[act[0]]
+                    voq = inp.voqs[out_index][vl]
+                    wire = voq[0].wire_size
+                    if out.queue_bytes + wire > capacity:
                         continue
-                    inputs[ip].grant(self.out_index, vl)
-                    self.queued_bytes[vl] -= pkt.wire_size
+                    pkt = inp.grant(out_index, vl)
+                    queued_bytes[vl] -= wire
                     self.grants += 1
-                    act.popleft()
+                    ip = act.popleft()
                     if voq:
                         act.append(ip)  # rotate: fair round robin
                     else:
-                        self._is_active[vl][ip] = False
+                        is_active[vl][ip] = False
                     out.enqueue(pkt)
                     granted = True
                     break

@@ -28,7 +28,14 @@ from collections import deque
 from typing import List, Optional
 
 from repro.engine.simulator import Simulator
-from repro.network.packet import Packet
+from repro.network.packet import (
+    FLAG_ACK,
+    FLAG_BECN,
+    FLAG_CONTROL,
+    FLAG_FECN,
+    Packet,
+    release,
+)
 from repro.network.ports import LinkConfig, OutputPort
 
 
@@ -93,8 +100,11 @@ class HcaInputPort:
         "queue",
         "busy",
         "sink_byte_time",
-        "upstream",
+        "_upstream",
+        "_upstream_credit",
         "credit_delay_ns",
+        "_schedule",
+        "_on_service_done",
     )
 
     def __init__(self, sim: Simulator, hca: "Hca", capacity: int, sink_rate_gbps: float, n_vls: int) -> None:
@@ -105,8 +115,21 @@ class HcaInputPort:
         self.queue: deque = deque()
         self.busy = False
         self.sink_byte_time = 8.0 / sink_rate_gbps
-        self.upstream: Optional[OutputPort] = None
+        self._upstream: Optional[OutputPort] = None
+        self._upstream_credit = None
         self.credit_delay_ns = 0.0
+        self._schedule = sim.schedule
+        self._on_service_done = self._service_done
+
+    @property
+    def upstream(self) -> Optional[OutputPort]:
+        """The output port feeding this sink (credit-return target)."""
+        return self._upstream
+
+    @upstream.setter
+    def upstream(self, port: Optional[OutputPort]) -> None:
+        self._upstream = port
+        self._upstream_credit = None if port is None else port.on_credit
 
     def deliver(self, pkt: Packet) -> None:
         """Accept a packet from the wire into the receive buffer."""
@@ -123,14 +146,15 @@ class HcaInputPort:
     def _start_service(self) -> None:
         pkt = self.queue[0]
         self.busy = True
-        self.sim.schedule(pkt.wire_size * self.sink_byte_time, self._service_done)
+        self._schedule(pkt.wire_size * self.sink_byte_time, self._on_service_done)
 
     def _service_done(self) -> None:
         pkt = self.queue.popleft()
         wire = pkt.wire_size
-        self.occupancy[pkt.vl] -= wire
-        if self.upstream is not None:
-            self.sim.schedule(self.credit_delay_ns, self.upstream.on_credit, (pkt.vl, wire))
+        vl = pkt.vl
+        self.occupancy[vl] -= wire
+        if self._upstream_credit is not None:
+            self._schedule(self.credit_delay_ns, self._upstream_credit, (vl, wire))
         self.hca.on_packet_received(pkt)
         if self.queue:
             self._start_service()
@@ -154,6 +178,7 @@ class Hca:
         "cnp_fault",
         "transport",
         "_wake_id",
+        "_on_wake",
         "_pulling",
         "_max_wire",
         "_last_cnp",
@@ -188,6 +213,7 @@ class Hca:
         self.cnp_fault = None  # CnpFaultFilter (repro.faults), or None
         self.transport = None  # HcaTransport (repro.transport), or None
         self._wake_id: Optional[int] = None
+        self._on_wake = self._wake
         self._pulling = False
         self._max_wire = config.mtu + config.header_bytes
         self._last_cnp: dict = {}
@@ -238,12 +264,13 @@ class Hca:
                 pkt, t_next = gen.next_packet(sim.now)
                 if pkt is None:
                     if t_next is not None:
-                        self._wake_id = sim.schedule_at(t_next, self._wake)
+                        self._wake_id = sim.schedule_at(t_next, self._on_wake)
                     return
                 if tr is not None and not tr.register(pkt):
+                    release(pkt)
                     continue  # FAILED flow: discarded at the source
                 pkt.t_inject = sim.now
-                if self.cc is not None and not pkt.is_control:
+                if self.cc is not None and not (pkt.flags & FLAG_CONTROL):
                     self.cc.on_inject(pkt)
                 if self.metrics is not None:
                     self.metrics.record_tx(self.node_id, pkt, sim.now)
@@ -267,39 +294,53 @@ class Hca:
     # -- receive side -------------------------------------------------
     def on_packet_received(self, pkt: Packet) -> None:
         """Sink completion: transport, metrics, BECN handling, FECN -> CNP."""
+        flags = pkt.flags
         tr = self.transport
-        if tr is not None and not pkt.is_control and not tr.on_data(pkt):
+        if tr is not None and not (flags & FLAG_CONTROL) and not tr.on_data(pkt):
             # Duplicate/out-of-order under the reliable transport:
             # discarded before the sink counts it as goodput.
+            release(pkt)
             return
         if self.metrics is not None:
             self.metrics.record_rx(self.node_id, pkt, self.sim.now)
         if self.trace is not None:
             self.trace.rx(
                 self.sim.now, self.node_id, pkt.src, pkt.dst, pkt.vl,
-                pkt.payload, 1 if pkt.fecn else 0, 1 if pkt.becn else 0,
-                1 if pkt.is_control else 0,
+                pkt.payload, 1 if flags & FLAG_FECN else 0,
+                1 if flags & FLAG_BECN else 0,
+                1 if flags & FLAG_CONTROL else 0,
             )
-        if tr is not None and pkt.is_ack:
+        if tr is not None and flags & FLAG_ACK:
             tr.on_ack(pkt)
+            release(pkt)
             return
-        if pkt.becn:
+        # The sink is the end of the packet's life. Capture what the CC
+        # reactions below need, then return the object to the pool —
+        # kick()/send_cnp() may acquire fresh packets and must never see
+        # this one half-dead.
+        flow = pkt.flow
+        sl = pkt.sl
+        src = pkt.src
+        becn = flags & FLAG_BECN
+        fecn = (flags & FLAG_FECN) and not (flags & FLAG_CONTROL)
+        release(pkt)
+        if becn:
             self.becns_received += 1
             if self.cc is not None:
-                self.cc.on_becn(pkt.flow, pkt.sl)
+                self.cc.on_becn(flow, sl)
                 # Throttled flows may now be schedulable at a new time.
                 self.kick()
-        if pkt.fecn and not pkt.is_control and self.cc is not None:
+        if fecn and self.cc is not None:
             # BECNs ride acknowledgements in hardware, and ACKs are
             # coalesced: a burst of FECN-marked packets of one flow
             # yields far fewer notifications than marks. We model this
             # by rate-limiting CNPs per source to one per coalescing
             # window, which also damps the CCTI overshoot the raw
             # mark-per-packet feedback would cause (see DESIGN.md §3.7).
-            last = self._last_cnp.get(pkt.src)
+            last = self._last_cnp.get(src)
             if last is None or self.sim.now - last >= self.config.cnp_coalesce_ns:
-                self._last_cnp[pkt.src] = self.sim.now
-                self.send_cnp(pkt.src)
+                self._last_cnp[src] = self.sim.now
+                self.send_cnp(src)
 
     def send_cnp(self, dst: int) -> None:
         """Return a BECN-carrying notification packet to ``dst``.

@@ -23,10 +23,10 @@ arbitration happens at the transmit stage.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.engine.simulator import Simulator
-from repro.network.packet import Packet
+from repro.network.packet import FLAG_CONTROL, FLAG_FECN, Packet, release
 
 
 class LinkConfig:
@@ -67,13 +67,15 @@ class OutputPort:
 
     __slots__ = (
         "sim",
-        "link",
+        "_link",
         "capacity",
         "queues",
         "queue_bytes",
         "credits",
         "busy",
-        "peer",
+        "_peer",
+        "_peer_deliver",
+        "_on_tx_done",
         "cc",
         "port_index",
         "on_space",
@@ -90,6 +92,9 @@ class OutputPort:
         "_lost_credits",
         "_rr_vl",
         "_n_vls",
+        "_byte_time",
+        "_prop_delay",
+        "_schedule",
     )
 
     def __init__(
@@ -102,14 +107,16 @@ class OutputPort:
         port_index: int = 0,
     ) -> None:
         self.sim = sim
-        self.link = link
+        self._link = link
         self.capacity = capacity
         self.queues: List[deque] = [deque() for _ in range(n_vls)]
         self.queue_bytes = 0
         # Filled in when the downstream input buffer is attached.
         self.credits: List[float] = [0.0] * n_vls
         self.busy = False
-        self.peer = None  # downstream object exposing .deliver(pkt)
+        self._peer = None  # downstream object exposing .deliver(pkt)
+        self._peer_deliver = None
+        self._on_tx_done = self._tx_done  # avoids rebinding per packet
         self.cc = None  # SwitchCC hook or None
         self.port_index = port_index
         self.on_space: Optional[Callable[[], None]] = None
@@ -136,6 +143,35 @@ class OutputPort:
         self._lost_credits: List[float] = [0.0] * n_vls
         self._rr_vl = 0
         self._n_vls = n_vls
+        # Hot-path caches: the transmit loop runs once per packet per
+        # hop, so the link timings are flattened to port attributes and
+        # refreshed by the ``link`` setter (runtime degradation).
+        self._byte_time = link.byte_time_ns
+        self._prop_delay = link.prop_delay_ns
+        self._schedule = sim.schedule
+
+    @property
+    def peer(self):
+        """Downstream object exposing ``deliver(pkt)``."""
+        return self._peer
+
+    @peer.setter
+    def peer(self, peer) -> None:
+        self._peer = peer
+        self._peer_deliver = None if peer is None else peer.deliver
+
+    @property
+    def link(self) -> LinkConfig:
+        """Physical link parameters driving this port."""
+        return self._link
+
+    @link.setter
+    def link(self, link: LinkConfig) -> None:
+        # repro.network.degrade swaps the LinkConfig mid-run to model
+        # frequency/voltage scaling; keep the hot-path caches in step.
+        self._link = link
+        self._byte_time = link.byte_time_ns
+        self._prop_delay = link.prop_delay_ns
 
     # -- capacity -------------------------------------------------------
     def has_space(self, wire_size: int) -> bool:
@@ -164,13 +200,15 @@ class OutputPort:
         else:
             q.append(pkt)
         self.queue_bytes += pkt.wire_size
-        self.try_send()
+        if not self.busy:
+            self.try_send()
 
     def on_credit(self, arg) -> None:
         """Credit return from downstream: ``arg = (vl, nbytes)``."""
         vl, nbytes = arg
         self.credits[vl] += nbytes
-        self.try_send()
+        if not self.busy:
+            self.try_send()
 
     def try_send(self) -> None:
         """Start transmitting an eligible head packet, if any.
@@ -183,28 +221,33 @@ class OutputPort:
             return
         queues = self.queues
         credits = self.credits
-        n_vls = self._n_vls
         pkt = None
         if self.vlarb is not None:
             vl = self.vlarb.select(queues, credits)
             if vl is not None:
                 pkt = queues[vl].popleft()
         else:
+            n_vls = self._n_vls
+            rr = self._rr_vl
             for i in range(n_vls):
-                vl = (self._rr_vl + i) % n_vls
+                vl = rr + i
+                if vl >= n_vls:
+                    vl -= n_vls
                 q = queues[vl]
                 if q and credits[vl] >= q[0].wire_size:
                     pkt = q.popleft()
-                    self._rr_vl = (vl + 1) % n_vls
+                    self._rr_vl = vl + 1 if vl + 1 < n_vls else 0
                     break
         if pkt is None:
             return
         wire = pkt.wire_size
+        vl = pkt.vl
         self.queue_bytes -= wire
-        credits[pkt.vl] -= wire
+        cr = credits[vl] - wire
+        credits[vl] = cr
         self.busy = True
-        if self.cc is not None and not pkt.is_control:
-            self.cc.on_transmit(self.port_index, pkt, credits[pkt.vl])
+        if self.cc is not None and not (pkt.flags & FLAG_CONTROL):
+            self.cc.on_transmit(self.port_index, pkt, cr)
         self.bytes_sent += wire
         self.packets_sent += 1
         trace = self.trace
@@ -212,10 +255,10 @@ class OutputPort:
             # After the CC hook so the record sees the FECN decision.
             trace.tx(
                 self.sim.now, self.trace_kind, self.trace_node,
-                self.port_index, pkt.vl, pkt.src, pkt.dst, wire,
-                1 if pkt.fecn else 0, credits[pkt.vl],
+                self.port_index, vl, pkt.src, pkt.dst, wire,
+                1 if pkt.flags & FLAG_FECN else 0, credits[vl],
             )
-        self.sim.schedule(wire * self.link.byte_time_ns, self._tx_done, pkt)
+        self._schedule(wire * self._byte_time, self._on_tx_done, pkt)
         if self.on_space is not None:
             self.on_space()
 
@@ -224,7 +267,7 @@ class OutputPort:
         if self.lossy:
             self._drop(pkt)
         else:
-            self.sim.schedule(self.link.prop_delay_ns, self.peer.deliver, pkt)
+            self._schedule(self._prop_delay, self._peer_deliver, pkt)
         self.try_send()
 
     # -- fault injection (repro.faults) ---------------------------------
@@ -241,6 +284,7 @@ class OutputPort:
                 self.port_index, pkt.vl, pkt.src, pkt.dst, pkt.payload,
                 1 if pkt.is_control else 0, "link",
             )
+        release(pkt)
 
     def fail(self) -> None:
         """Take the link down: no new transmissions, in-flight tx lost."""
@@ -288,9 +332,12 @@ class SwitchInputPort:
         "capacity",
         "occupancy",
         "voqs",
-        "upstream",
+        "_upstream",
+        "_upstream_credit",
         "credit_delay_ns",
         "packets_received",
+        "fast_lft",
+        "_schedule",
     )
 
     def __init__(
@@ -311,9 +358,25 @@ class SwitchInputPort:
         self.voqs: List[List[deque]] = [
             [deque() for _ in range(n_vls)] for _ in range(switch.n_ports)
         ]
-        self.upstream: Optional[OutputPort] = None
+        self._upstream: Optional[OutputPort] = None
+        self._upstream_credit = None
         self.credit_delay_ns = 0.0
         self.packets_received = 0
+        # Per-destination routing fast path: a direct reference to the
+        # switch's LFT when plain table routing is active (kept in sync
+        # by Switch._sync_route_cache), else None -> full route() call.
+        self.fast_lft: Optional[Sequence[int]] = None
+        self._schedule = sim.schedule
+
+    @property
+    def upstream(self) -> Optional["OutputPort"]:
+        """The output port feeding this buffer (credit-return target)."""
+        return self._upstream
+
+    @upstream.setter
+    def upstream(self, port: Optional["OutputPort"]) -> None:
+        self._upstream = port
+        self._upstream_credit = None if port is None else port.on_credit
 
     def deliver(self, pkt: Packet) -> None:
         """Accept a packet from the wire: route it and queue in its VoQ."""
@@ -327,7 +390,15 @@ class SwitchInputPort:
             )
         self.occupancy[vl] = occ
         self.packets_received += 1
-        out = self.switch.route(pkt)
+        lft = self.fast_lft
+        if lft is not None:
+            out = lft[pkt.dst]
+            if out < 0:
+                raise RuntimeError(
+                    f"switch {self.switch.node_id} has no route to node {pkt.dst}"
+                )
+        else:
+            out = self.switch.route(pkt)
         if out == self.port_id:
             raise RuntimeError(
                 f"routing loop: packet for node {pkt.dst} routed back out "
@@ -345,8 +416,8 @@ class SwitchInputPort:
         pkt = self.voqs[out_port][vl].popleft()
         wire = pkt.wire_size
         self.occupancy[vl] -= wire
-        if self.upstream is not None:
-            self.sim.schedule(self.credit_delay_ns, self.upstream.on_credit, (vl, wire))
+        if self._upstream_credit is not None:
+            self._schedule(self.credit_delay_ns, self._upstream_credit, (vl, wire))
         return pkt
 
     def voq_head(self, out_port: int, vl: int) -> Optional[Packet]:

@@ -45,7 +45,7 @@ class Switch:
         "arbiters",
         "lft",
         "cc",
-        "router",
+        "_router",
     )
 
     def __init__(
@@ -79,16 +79,35 @@ class Switch:
             out.on_space = self.arbiters[i].kick
         self.lft: Optional[Sequence[int]] = None
         self.cc = None  # SwitchCC, installed by the CC manager
-        self.router = None  # optional routing strategy (e.g. adaptive)
+        self._router = None  # optional routing strategy (e.g. adaptive)
 
     def set_lft(self, lft: Sequence[int]) -> None:
         """Install the linear forwarding table (``lft[dst] -> port``)."""
         self.lft = lft
+        self._sync_route_cache()
+
+    @property
+    def router(self):
+        """Optional routing strategy (e.g. adaptive); None means LFT."""
+        return self._router
+
+    @router.setter
+    def router(self, router) -> None:
+        self._router = router
+        self._sync_route_cache()
+
+    def _sync_route_cache(self) -> None:
+        # Input ports bypass route() entirely when plain-LFT routing is
+        # in effect: deliver() indexes the shared table directly. Any
+        # change to the table or the strategy refreshes the caches.
+        fast = self.lft if self._router is None else None
+        for ip in self.input_ports:
+            ip.fast_lft = fast
 
     def route(self, pkt: Packet) -> int:
         """Output port for ``pkt`` (router strategy or LFT lookup)."""
-        if self.router is not None:
-            return self.router.route(pkt)
+        if self._router is not None:
+            return self._router.route(pkt)
         out = self.lft[pkt.dst]
         if out < 0:
             raise RuntimeError(

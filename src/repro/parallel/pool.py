@@ -8,9 +8,14 @@ such a list into a job run:
 
 * ``jobs=1`` executes in-process, in submission order — byte-identical
   to the historical serial drivers;
-* ``jobs>1`` fans out over a :class:`ProcessPoolExecutor` with per-job
-  timeouts, bounded retry with backoff (:mod:`repro.parallel.retry`),
-  and pool recycling when a worker dies hard;
+* ``jobs>1`` fans out over a :class:`ProcessPoolExecutor` (``fork``
+  start method where available) with per-job timeouts, bounded retry
+  with backoff (:mod:`repro.parallel.retry`), and pool recycling when
+  a worker dies hard; the worker count is capped to the visible core
+  count (oversubscribing CPU-bound cells only adds overhead), and when
+  the cap leaves a single worker the run degrades to the in-process
+  path — unless a ``timeout_s`` must be enforced, which needs a
+  preemptable worker process;
 * a cache (:mod:`repro.parallel.cache`) is consulted read-through
   before any cell is simulated and populated write-through as results
   arrive, so resumed campaigns skip completed cells;
@@ -30,6 +35,8 @@ such a list into a job run:
 from __future__ import annotations
 
 import hashlib
+import multiprocessing
+import os
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -44,6 +51,27 @@ from repro.parallel.cache import as_cache
 from repro.parallel.manifest import RunManifest
 from repro.parallel.progress import ProgressReporter
 from repro.parallel.retry import NO_RETRY, RetryPolicy
+
+
+def _effective_workers(jobs: int, n_pending: int) -> int:
+    """Worker processes that can actually run concurrently.
+
+    Asking for more workers than cores makes campaigns *slower*, not
+    faster: the cells are CPU-bound, so extra workers only add fork and
+    IPC overhead plus scheduler thrash. The executor therefore caps the
+    requested ``jobs`` to the visible core count and to the number of
+    pending cells.
+    """
+    cores = os.cpu_count() or 1
+    return max(1, min(jobs, cores, n_pending))
+
+
+def _make_executor(workers: int) -> ProcessPoolExecutor:
+    """A pool using ``fork`` where available (cheap start, no re-import)."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        ctx = multiprocessing.get_context("fork")
+        return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+    return ProcessPoolExecutor(max_workers=workers)
 
 
 def derive_seed(base_seed: int, index: int) -> int:
@@ -280,15 +308,31 @@ def run_campaign(
 
     was_interrupted = False
     if pending:
+        # A pool only helps while multiple workers can actually run; on
+        # a starved host (workers capped to 1) the in-process path is
+        # strictly faster — unless a timeout must be enforced, which
+        # requires a preemptable worker process.
+        workers = _effective_workers(jobs, len(pending))
+        use_pool = jobs > 1 and (workers > 1 or timeout_s is not None)
+        if jobs > 1 and workers < jobs and use_pool:
+            reporter.note(
+                f"jobs={jobs} capped to {workers} worker(s) "
+                f"({os.cpu_count() or 1} core(s), {len(pending)} pending cell(s))"
+            )
+        elif jobs > 1 and not use_pool:
+            reporter.note(
+                f"jobs={jobs} on {os.cpu_count() or 1} core(s): "
+                "running in-process (a pool would only add overhead)"
+            )
         try:
-            if jobs == 1:
+            if not use_pool:
                 _run_serial(
                     pending, fn, retry, reporter,
                     record_ok, record_failed, record_interrupted,
                 )
             else:
                 _run_pool(
-                    pending, fn, retry, jobs, timeout_s, reporter,
+                    pending, fn, retry, workers, timeout_s, reporter,
                     record_ok, record_failed, record_interrupted,
                 )
         except KeyboardInterrupt:
@@ -361,7 +405,7 @@ def _run_pool(
     # cannot be preempted, so the future is abandoned and its slot
     # counted busy until the worker actually finishes.
     abandoned: List[Future] = []
-    executor = ProcessPoolExecutor(max_workers=jobs)
+    executor = _make_executor(jobs)
 
     def attempt_failed(job: _CellJob, error: str, wall: float) -> None:
         job.attempts += 1
@@ -415,7 +459,7 @@ def _run_pool(
         nonlocal executor
         executor.shutdown(wait=False, cancel_futures=True)
         abandoned.clear()
-        executor = ProcessPoolExecutor(max_workers=jobs)
+        executor = _make_executor(jobs)
 
     def main_loop() -> None:
         while queue or running:

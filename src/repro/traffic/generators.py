@@ -179,7 +179,7 @@ class BNodeSource:
             self._msg_remaining[stream] = self.msg_packets
             self._msg_seq += 1
             self.messages_started += 1
-        pkt = Packet(
+        pkt = Packet.acquire(
             self.node_id,
             self._msg_dst[stream],
             self.mtu,

@@ -96,6 +96,26 @@ def test_store_key_distinct_for_other_mechanisms_and_tunings():
 
 
 @pytest.mark.slow
+@pytest.mark.parametrize("mech", ["ib", "dctcp", "reno", "dcqcn"])
+def test_mechanism_digest_invariant_under_scheduler(monkeypatch, mech):
+    """Every registered mechanism digests identically on both kernels.
+
+    The CC feedback loops are the most timing-entangled consumers of
+    the event queue (CCT timers, CNP scheduling, rate updates at
+    sub-bucket delays), so each mechanism gets its own heap-vs-calendar
+    equivalence check on a seconds-scale cell.
+    """
+    cfg = _quick_arena_config(CCConfig.make(mech))
+    monkeypatch.setenv("REPRO_SCHEDULER", "heapq")
+    ref = run_experiment(cfg, trace=True)
+    monkeypatch.setenv("REPRO_SCHEDULER", "calendar")
+    cal = run_experiment(cfg, trace=True)
+    assert ref.trace_violations == 0 and cal.trace_violations == 0
+    assert ref.trace_digest is not None
+    assert cal.trace_digest == ref.trace_digest
+
+
+@pytest.mark.slow
 def test_non_ib_mechanism_digest_identical_jobs1_vs_jobs4():
     """dcqcn cells digest the same in-process and across a pool."""
     from repro.parallel import run_campaign

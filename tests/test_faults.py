@@ -163,11 +163,10 @@ class TestLinkFlap:
     def test_empty_schedule_installs_nothing(self):
         sim = Simulator()
         net, _, _ = build_network(sim, radix=4)
-        before = len(sim._heap) if hasattr(sim, "_heap") else None
+        before = sim.pending
         inj = FaultInjector(net, FaultSchedule()).install()
         assert inj.filters == {}
-        if before is not None:
-            assert len(sim._heap) == before
+        assert sim.pending == before
 
 
 class TestCnpFaults:

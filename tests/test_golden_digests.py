@@ -21,6 +21,7 @@ import os
 
 import pytest
 
+from repro.experiments.config import SCALES, ExperimentConfig
 from repro.experiments.runner import TracedRun, config_slug, run_experiment
 from repro.experiments.table2 import run_table2
 from repro.experiments.windy import run_windy_figure
@@ -105,3 +106,66 @@ def test_windy_quick_golden(update_golden):
     )
     point = fig.points[0]
     _check_goldens([point.off, point.on], update_golden)
+
+
+# ----------------------------------------------------------------------
+# Kernel-choice invariance: the event-queue implementation and the
+# packet flyweight pool are performance knobs, never behavioral ones.
+# Every (scheduler, pool) combination must reproduce the SAME pinned
+# digest per scenario — one golden key shared by all four combos, so
+# any divergence between combos fails loudly. The full-length golden
+# cells above run under ``REPRO_SCHEDULER=calendar`` in CI's
+# kernel-differential job; these short cells keep the 4-way matrix
+# affordable inside the regular suite.
+# ----------------------------------------------------------------------
+
+def _kernel_cell(**overrides) -> ExperimentConfig:
+    """A seconds-scale slice of the Table II CC-on hotspot cell."""
+    return ExperimentConfig(
+        scale=SCALES["quick"], b_fraction=0.0, c_fraction_of_rest=0.8,
+        seed=7, name="table2", cc=True, sim_time_ns=2e6, warmup_ns=0.5e6,
+        **overrides,
+    )
+
+
+#: Scenario key -> config overrides. Keys double as golden-fixture ids.
+KERNEL_CELLS = {
+    "kernel-quick-hotspot-cc": {},
+    "kernel-quick-silent-cc": {"contributors_active": False},
+    "kernel-quick-moving-cc": {"hotspot_lifetime_ns": 1e6},
+}
+
+KERNEL_COMBOS = [
+    pytest.param("heapq", "1", id="heapq-pool"),
+    pytest.param("heapq", "0", id="heapq-nopool"),
+    pytest.param("calendar", "1", id="calendar-pool"),
+    pytest.param("calendar", "0", id="calendar-nopool"),
+]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("sched,pool", KERNEL_COMBOS)
+def test_kernel_choices_never_move_digests(update_golden, monkeypatch, sched, pool):
+    monkeypatch.setenv("REPRO_SCHEDULER", sched)
+    monkeypatch.setenv("REPRO_PACKET_POOL", pool)
+    observed = {}
+    for key, overrides in KERNEL_CELLS.items():
+        res = run_experiment(_kernel_cell(**overrides), trace=True)
+        assert res.trace_violations == 0, (
+            f"{key} [{sched},pool={pool}]: {res.trace_violations} "
+            "invariant violation(s)"
+        )
+        observed[key] = res.trace_digest
+    if update_golden:
+        _store_goldens(observed)
+        return
+    goldens = _load_goldens()
+    mismatched = [
+        f"{key}: digest {digest} != golden {goldens.get(key)}"
+        for key, digest in observed.items()
+        if digest != goldens.get(key)
+    ]
+    assert not mismatched, (
+        f"scheduler={sched} pool={pool} moved the event stream "
+        "(kernel choices must be behavior-free):\n  " + "\n  ".join(mismatched)
+    )

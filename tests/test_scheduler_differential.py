@@ -1,0 +1,266 @@
+"""Differential harness: HeapScheduler vs CalendarScheduler.
+
+The calendar queue is a performance substitute for the reference heap,
+so the two must agree on *every* observable: pop order (ascending
+``(time, seq)`` with seq breaking timestamp ties), behavior under
+``until`` horizons, ``peek``, and ``len``. These properties drive
+random operation sequences through both structures — and through full
+:class:`~repro.engine.Simulator` instances, where callbacks schedule
+follow-up events into the bucket currently being drained (the calendar
+queue's ``insort`` path) — and assert bit-equal traces.
+
+The golden-digest suites extend the same guarantee to whole experiment
+cells; this file is the fast, shrinkable end of that spectrum.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Simulator
+from repro.engine.scheduler import (
+    SCHEDULERS,
+    CalendarScheduler,
+    HeapScheduler,
+    make_scheduler,
+    scheduler_from_env,
+)
+
+# Widths chosen to stress every calendar regime on the same sequences:
+# sub-event buckets (everything crosses buckets), the shipped default,
+# and one giant bucket (degenerates to a single sorted list).
+WIDTHS = (1.0, 256.0, 1e9)
+
+# Delays mix exact bucket boundaries, sub-bucket jitter, and far-future
+# outliers (retransmission-timer territory).
+DELAYS = st.one_of(
+    st.sampled_from([0.0, 1.0, 50.0, 255.0, 256.0, 257.0, 512.0, 1e6]),
+    st.floats(min_value=0.0, max_value=1e5, allow_nan=False, width=32),
+)
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), DELAYS),
+        st.tuples(st.just("pop"), st.none()),
+        st.tuples(st.just("pop_until"), st.floats(min_value=0.0, max_value=2e5)),
+        st.tuples(st.just("peek"), st.none()),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def _noop() -> None:
+    pass
+
+
+def run_ops(sched, ops):
+    """Interpret an op sequence; return the full observable trace.
+
+    ``push`` times are ``now + delay`` where ``now`` tracks the last
+    popped timestamp — the same "never schedule in the past" contract
+    the Simulator enforces, which the calendar's insort path relies on.
+    """
+    trace = []
+    now = 0.0
+    seq = 0
+    for op, val in ops:
+        if op == "push":
+            sched.push(now + val, seq, _noop, None)
+            seq += 1
+            trace.append(("len", len(sched)))
+        elif op == "pop":
+            entry = sched.pop(None)
+            if entry is not None:
+                now = entry[0]
+            trace.append(("pop", entry[:2] if entry else None, len(sched)))
+        elif op == "pop_until":
+            entry = sched.pop(now + val)
+            if entry is not None:
+                now = entry[0]
+            trace.append(("pop", entry[:2] if entry else None, len(sched)))
+        else:
+            entry = sched.peek()
+            trace.append(("peek", entry[:2] if entry else None, len(sched)))
+    while True:
+        entry = sched.pop(None)
+        if entry is None:
+            break
+        trace.append(("drain", entry[:2]))
+    trace.append(("empty", len(sched)))
+    return trace
+
+
+class TestSchedulerDifferential:
+    @given(ops=OPS)
+    @settings(max_examples=200)
+    def test_identical_observable_trace(self, ops):
+        reference = run_ops(HeapScheduler(), ops)
+        for width in WIDTHS:
+            assert run_ops(CalendarScheduler(width_ns=width), ops) == reference
+
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=4096.0, allow_nan=False),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=100)
+    def test_tie_break_is_scheduling_order(self, times):
+        """Equal timestamps must pop in push (seq) order — both impls."""
+        for sched in (HeapScheduler(), CalendarScheduler()):
+            for seq, t in enumerate(times):
+                sched.push(t, seq, _noop, None)
+            popped = []
+            while True:
+                entry = sched.pop(None)
+                if entry is None:
+                    break
+                popped.append(entry[:2])
+            assert popped == sorted(popped)
+            assert len(popped) == len(times)
+
+
+def run_cascade(scheduler, root_delays, child_delays, fanout, until):
+    """A simulation whose callbacks schedule more work while running.
+
+    Children land at small relative delays, so under the calendar queue
+    many of them fall into the bucket being drained — the insort path a
+    static push/pop sequence never reaches.
+    """
+    sim = Simulator(scheduler=scheduler)
+    order = []
+    budget = [300]
+
+    def fire(label):
+        order.append((sim.now, label))
+        if budget[0] <= 0:
+            return
+        for k in range(fanout):
+            budget[0] -= 1
+            child = label * fanout + k + 1
+            sim.schedule(child_delays[child % len(child_delays)], fire, child)
+
+    for i, d in enumerate(root_delays):
+        sim.schedule(d, fire, i)
+    sim.run(until=until)
+    return order, sim.now, sim.events_executed, sim.pending
+
+
+class TestSimulatorDifferential:
+    @given(
+        root_delays=st.lists(DELAYS, min_size=1, max_size=20),
+        child_delays=st.lists(
+            st.floats(min_value=0.0, max_value=600.0, allow_nan=False),
+            min_size=1,
+            max_size=10,
+        ),
+        fanout=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cascading_schedules_identical(self, root_delays, child_delays, fanout):
+        ref = run_cascade("heapq", root_delays, child_delays, fanout, until=5e4)
+        cal = run_cascade("calendar", root_delays, child_delays, fanout, until=5e4)
+        assert cal == ref
+
+    @given(
+        delays=st.lists(DELAYS, min_size=2, max_size=40),
+        cancels=st.lists(st.integers(min_value=0, max_value=1000), max_size=15),
+        reschedules=st.lists(st.integers(min_value=0, max_value=1000), max_size=10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_cancel_and_reschedule_identical(self, delays, cancels, reschedules):
+        """Tombstoned and re-issued events fire identically either way."""
+
+        def drive(scheduler):
+            sim = Simulator(scheduler=scheduler)
+            fired = []
+            ids = [sim.schedule(d, fired.append, i) for i, d in enumerate(delays)]
+            for pick in cancels:
+                sim.cancel(ids[pick % len(ids)])
+            for j, pick in enumerate(reschedules):
+                victim = pick % len(ids)
+                sim.cancel(ids[victim])
+                ids[victim] = sim.schedule(
+                    delays[victim] + 0.5, fired.append, 1000 + j
+                )
+            sim.run()
+            return fired, sim.now, sim.pending
+
+        assert drive("calendar") == drive("heapq")
+
+
+class TestCalendarEdges:
+    """Directed cases for the calendar's internal transitions."""
+
+    def test_push_into_draining_bucket_keeps_order(self):
+        sched = CalendarScheduler(width_ns=256.0)
+        for seq, t in enumerate([10.0, 100.0, 200.0]):
+            sched.push(t, seq, _noop, None)
+        assert sched.pop(None)[:2] == (10.0, 0)
+        # The clock is inside bucket 0; these land in the sorted remainder.
+        sched.push(150.0, 3, _noop, None)
+        sched.push(100.0, 4, _noop, None)  # tie with seq 1, must pop after
+        got = []
+        while True:
+            entry = sched.pop(None)
+            if entry is None:
+                break
+            got.append(entry[:2])
+        assert got == [(100.0, 1), (100.0, 4), (150.0, 3), (200.0, 2)]
+
+    def test_until_horizon_leaves_head_queued(self):
+        for sched in (HeapScheduler(), CalendarScheduler()):
+            sched.push(300.0, 0, _noop, None)
+            assert sched.pop(100.0) is None
+            assert len(sched) == 1
+            assert sched.pop(300.0)[:2] == (300.0, 0)
+            assert sched.pop(None) is None
+
+    def test_peek_advances_across_empty_buckets(self):
+        sched = CalendarScheduler(width_ns=1.0)
+        sched.push(5000.0, 0, _noop, None)
+        assert sched.peek()[:2] == (5000.0, 0)
+        assert len(sched) == 1
+        assert sched.pop(None)[:2] == (5000.0, 0)
+        assert sched.peek() is None
+
+    def test_exact_bucket_boundary_times(self):
+        sched = CalendarScheduler(width_ns=256.0)
+        times = [256.0, 255.9999, 256.0001, 512.0, 0.0]
+        for seq, t in enumerate(times):
+            sched.push(t, seq, _noop, None)
+        got = [sched.pop(None)[:2] for _ in times]
+        assert got == sorted(got)
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CalendarScheduler(width_ns=0.0)
+
+
+class TestSelection:
+    def test_registry_names(self):
+        assert set(SCHEDULERS) == {"heapq", "calendar"}
+
+    def test_make_scheduler_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("splay")
+
+    def test_make_scheduler_passthrough(self):
+        sched = CalendarScheduler()
+        assert make_scheduler(sched) is sched
+        with pytest.raises(TypeError):
+            make_scheduler(object())  # type: ignore[arg-type]
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+        assert scheduler_from_env() == "heapq"
+        assert Simulator().scheduler_name == "heapq"
+        monkeypatch.setenv("REPRO_SCHEDULER", "calendar")
+        assert scheduler_from_env() == "calendar"
+        assert Simulator().scheduler_name == "calendar"
+        # Explicit argument beats the environment.
+        assert Simulator(scheduler="heapq").scheduler_name == "heapq"
