@@ -1,13 +1,18 @@
-"""Parallel-executor benchmark: Table II wall-clock at jobs=1 vs jobs=4.
+"""Parallel-runtime benchmark: Table II wall-clock at jobs=1 vs jobs=4.
 
 Runs the quick-scale Table II campaign serially and through the
-process pool, verifies the two produce identical rows (the executor's
-core determinism contract), and records the wall-clock datapoint in
-``BENCH_parallel.json`` at the repository root.
+supervised persistent-worker runtime, verifies the two produce
+identical rows (the runtime's core determinism contract), and records
+the wall-clock datapoint in ``BENCH_parallel.json`` at the repository
+root.
 
-The container CI runs on may be single-core, so a speedup is asserted
-only when enough cores are available; the datapoint (including the
-detected core count) is recorded either way.
+With persistent workers each process is spawned once per campaign and
+reused across cells — no per-cell fork/import cost — so on a host with
+four real cores the four independent Table II phases must overlap into
+at least a 1.5x speedup. The container CI runs on may be single-core;
+there a speedup is physically impossible and the datapoint records the
+supervision overhead instead (with the detected core count, so the
+number is honest about what it measured).
 """
 
 import json
@@ -34,20 +39,28 @@ def test_bench_parallel_table2(benchmark, scale, seed):
         pooled_run, rounds=1, iterations=1
     )
 
-    # The determinism contract: the pool reproduces the serial rows
-    # exactly, cell by cell.
+    # The determinism contract: the supervised pool reproduces the
+    # serial rows exactly, cell by cell.
     assert pooled.rows() == serial.rows()
     assert pooled.hotspots_cc.rates_gbps == serial.hotspots_cc.rates_gbps
 
     cores = os.cpu_count() or 1
     datapoint = {
         "benchmark": "table2_parallel",
+        "runtime": "supervised persistent workers (heartbeat 0.25s)",
         "scale": scale.name,
         "seed": seed,
         "cpu_count": cores,
         "jobs1_seconds": round(jobs1_seconds, 3),
         "jobs4_seconds": round(jobs4_seconds, 3),
         "speedup": round(jobs1_seconds / jobs4_seconds, 3),
+        "notes": (
+            "single round of the quick-scale Table II campaign; on "
+            "cpu_count >= 4 the gate is speedup >= 1.5x, on a "
+            "single-core host the runtime declines to spawn workers "
+            "and jobs=4 degrades to in-process execution, so the "
+            "number is machine noise, not parallelism"
+        ),
     }
     with open(DATAPOINT_PATH, "w") as fh:
         json.dump(datapoint, fh, indent=2)
@@ -59,8 +72,11 @@ def test_bench_parallel_table2(benchmark, scale, seed):
           f"({datapoint['speedup']:.2f}x on {cores} cores)")
 
     if cores >= 4:
-        # Four independent phases on >=4 cores should overlap well.
-        assert jobs4_seconds < 0.75 * jobs1_seconds
+        # Four independent phases on persistent workers across >=4
+        # cores: anything under 1.5x means the runtime is eating the
+        # parallelism (per-cell respawns, serialized dispatch, ...).
+        assert jobs4_seconds * 1.5 <= jobs1_seconds
     else:
-        # On starved hosts just require the pool not to be pathological.
-        assert jobs4_seconds < 3.0 * jobs1_seconds
+        # Starved hosts degrade to in-process execution; just require
+        # the fallback not to be pathological.
+        assert jobs4_seconds < 2.0 * jobs1_seconds

@@ -188,10 +188,12 @@ def run_arena(
     cache=None,
     retry=None,
     timeout_s: float | None = None,
+    max_rss_mb: float | None = None,
     reporter=None,
     manifest_path: str | None = None,
     run_fn=None,
     resume_from=None,
+    retry_failed: bool = False,
 ) -> ArenaResult:
     """Run the cross-mechanism matrix.
 
@@ -228,10 +230,12 @@ def run_arena(
         cache=cache,
         retry=retry,
         timeout_s=timeout_s,
+        max_rss_mb=max_rss_mb,
         progress=reporter,
         manifest_path=manifest_path,
         run_fn=run_fn,
         resume_from=resume_from,
+        retry_failed=retry_failed,
     ).raise_on_failure()
     results = campaign.results
     arena = ArenaResult(scale=scale.name, seed=seed, mechanisms=names)

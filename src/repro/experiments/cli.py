@@ -7,6 +7,8 @@ Examples::
     ibcc-repro fig9a --scale quick
     ibcc-repro fig10 --p 60
     ibcc-repro fig5 --jobs 4 --cache-dir .ibcc-cache   # parallel + cached
+    ibcc-repro table2 --jobs 4 --timeout-s 600 --max-rss-mb 2048  # budgets
+    ibcc-repro fig5 --resume run.json --retry-failed   # re-run failures
     ibcc-repro faults --scale quick             # fault-scenario table
     ibcc-repro table2 --chaos 7                 # seeded random faults
     ibcc-repro table2 --faults flap.json        # explicit fault schedule
@@ -147,6 +149,39 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for the experiment cells "
             "(1 = serial, byte-identical to historical runs)"
+        ),
+    )
+    parser.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with --jobs>1: per-cell wall-clock budget; the supervisor "
+            "preempts the worker of a cell that exceeds it and records "
+            "the cell failed with error_kind=timeout"
+        ),
+    )
+    parser.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help=(
+            "with --jobs>1: per-worker address-space budget "
+            "(RLIMIT_AS); a cell that allocates past it fails in place "
+            "with error_kind=oom instead of inviting the kernel OOM "
+            "killer"
+        ),
+    )
+    parser.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help=(
+            "with --resume: re-run the cells the prior manifest "
+            "recorded as failed (by default their quarantine records — "
+            "poisoned cells, timeouts — are replayed without burning "
+            "workers on them again)"
         ),
     )
     parser.add_argument(
@@ -385,6 +420,15 @@ def main(argv=None) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.retry_failed and args.resume is None:
+        print("--retry-failed requires --resume", file=sys.stderr)
+        return 2
+    if args.timeout_s is not None and args.timeout_s <= 0:
+        print("--timeout-s must be > 0", file=sys.stderr)
+        return 2
+    if args.max_rss_mb is not None and args.max_rss_mb <= 0:
+        print("--max-rss-mb must be > 0", file=sys.stderr)
+        return 2
     if args.trace_dir is not None and not args.trace:
         print("--trace-dir requires --trace", file=sys.stderr)
         return 2
@@ -454,10 +498,13 @@ def main(argv=None) -> int:
     campaign_kw = dict(
         jobs=args.jobs,
         cache=cache,
+        timeout_s=args.timeout_s,
+        max_rss_mb=args.max_rss_mb,
         reporter=reporter,
         manifest_path=args.manifest,
         run_fn=run_fn,
         resume_from=args.resume,
+        retry_failed=args.retry_failed,
         transport=transport,
     )
     if args.artifact not in ("faults", "arena"):

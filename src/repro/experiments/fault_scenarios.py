@@ -190,10 +190,12 @@ def run_fault_scenarios(
     cache=None,
     retry=None,
     timeout_s: float | None = None,
+    max_rss_mb: float | None = None,
     reporter=None,
     manifest_path: str | None = None,
     run_fn=None,
     resume_from=None,
+    retry_failed: bool = False,
 ) -> FaultScenarioTable:
     """Run every scenario's (CC off, CC on) hotspot pair at ``scale``.
 
@@ -227,10 +229,12 @@ def run_fault_scenarios(
         cache=cache,
         retry=retry,
         timeout_s=timeout_s,
+        max_rss_mb=max_rss_mb,
         progress=reporter,
         manifest_path=manifest_path,
         run_fn=run_fn,
         resume_from=resume_from,
+        retry_failed=retry_failed,
     ).raise_on_failure()
     results = campaign.results
     rows = [

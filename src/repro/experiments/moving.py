@@ -99,6 +99,7 @@ def run_moving_figure(
     cache=None,
     retry=None,
     timeout_s: float | None = None,
+    max_rss_mb: float | None = None,
     reporter=None,
     manifest_path: str | None = None,
     run_fn=None,
@@ -106,6 +107,7 @@ def run_moving_figure(
     transport=None,
     cc_config=None,
     resume_from=None,
+    retry_failed: bool = False,
 ) -> MovingFigure:
     """A lifetime sweep.
 
@@ -147,10 +149,12 @@ def run_moving_figure(
         cache=cache,
         retry=retry,
         timeout_s=timeout_s,
+        max_rss_mb=max_rss_mb,
         progress=reporter,
         manifest_path=manifest_path,
         run_fn=run_fn,
         resume_from=resume_from,
+        retry_failed=retry_failed,
     ).raise_on_failure()
     results = campaign.results
     points = [

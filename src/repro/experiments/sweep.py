@@ -152,6 +152,7 @@ def sweep(
     cache=None,
     retry=None,
     timeout_s: Optional[float] = None,
+    max_rss_mb: Optional[float] = None,
     reporter=None,
     manifest_path: Optional[str] = None,
     strict: bool = True,
@@ -207,6 +208,7 @@ def sweep(
         cache=cache,
         retry=retry,
         timeout_s=timeout_s,
+        max_rss_mb=max_rss_mb,
         progress=reporter,
         manifest_path=manifest_path,
         run_fn=run_fn,

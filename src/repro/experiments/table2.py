@@ -71,6 +71,7 @@ def run_table2(
     cache=None,
     retry=None,
     timeout_s: float | None = None,
+    max_rss_mb: float | None = None,
     reporter=None,
     manifest_path: str | None = None,
     run_fn=None,
@@ -78,6 +79,7 @@ def run_table2(
     transport=None,
     cc_config=None,
     resume_from=None,
+    retry_failed: bool = False,
 ) -> Table2Result:
     """Run the four phases of Table II at the given scale.
 
@@ -120,10 +122,12 @@ def run_table2(
         cache=cache,
         retry=retry,
         timeout_s=timeout_s,
+        max_rss_mb=max_rss_mb,
         progress=reporter,
         manifest_path=manifest_path,
         run_fn=run_fn,
         resume_from=resume_from,
+        retry_failed=retry_failed,
     ).raise_on_failure()
     baseline_no_cc, baseline_cc, hotspots_no_cc, hotspots_cc = campaign.results
     return Table2Result(

@@ -109,6 +109,7 @@ def run_windy_figure(
     cache=None,
     retry=None,
     timeout_s: float | None = None,
+    max_rss_mb: float | None = None,
     reporter=None,
     manifest_path: str | None = None,
     run_fn=None,
@@ -116,6 +117,7 @@ def run_windy_figure(
     transport=None,
     cc_config=None,
     resume_from=None,
+    retry_failed: bool = False,
 ) -> WindyFigure:
     """A whole figure's sweep: figures 5 (x=.25) through 8 (x=1.0).
 
@@ -150,10 +152,12 @@ def run_windy_figure(
         cache=cache,
         retry=retry,
         timeout_s=timeout_s,
+        max_rss_mb=max_rss_mb,
         progress=reporter,
         manifest_path=manifest_path,
         run_fn=run_fn,
         resume_from=resume_from,
+        retry_failed=retry_failed,
     ).raise_on_failure()
     results = campaign.results
     points = [

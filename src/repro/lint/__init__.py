@@ -9,7 +9,7 @@ only catch it an hour later. simlint moves that detection to a static
 pass that fails in seconds.
 
 Rules (see :mod:`repro.lint.rules_determinism` /
-:mod:`repro.lint.rules_crossref`):
+:mod:`repro.lint.rules_crossref` / :mod:`repro.lint.rules_robustness`):
 
 ========  ==============================================================
 DET001    no raw ``random.*`` / ``numpy.random`` stateful calls in
@@ -27,6 +27,10 @@ KEY001    store-key drift — every ``ExperimentConfig`` (and nested
 TRC001    every ``EV_*`` trace constant must be listed in
           ``ALL_EVENTS``, emitted by a ``Tracer`` hook, and handled by
           the ``TraceAuditor``
+ERR001    no bare ``except:`` and no broad ``except Exception`` /
+          ``BaseException`` whose body only passes — errors surface as
+          data (manifest ``error_kind`` records), never silently
+          swallowed
 IMP001    unused module-level import (dead-code hygiene; never fails
           the build)
 ========  ==============================================================
@@ -58,6 +62,7 @@ from repro.lint.registry import RULES, all_rule_ids, get_rules
 # Importing the rule modules registers their rules.
 from repro.lint import rules_crossref as _rules_crossref  # noqa: F401
 from repro.lint import rules_determinism as _rules_determinism  # noqa: F401
+from repro.lint import rules_robustness as _rules_robustness  # noqa: F401
 
 __all__ = [
     "Finding",

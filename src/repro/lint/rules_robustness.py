@@ -1,0 +1,104 @@
+"""Robustness rules: ERR001.
+
+The supervised campaign runtime (:mod:`repro.parallel.supervisor`)
+guarantees that every failure surfaces as structured data — a manifest
+record with a taxonomy ``error_kind`` — never as a silently swallowed
+exception. That contract is only as strong as the weakest ``except``
+in the tree, so ERR001 statically forbids the two constructs that lose
+errors without a trace:
+
+* a bare ``except:`` — it catches ``SystemExit`` and
+  ``KeyboardInterrupt`` too, so even a Ctrl-C drain can be eaten;
+* ``except Exception:`` / ``except BaseException:`` whose body only
+  passes — the error is caught broadly and then discarded.
+
+A broad handler with a *real* body (logging, classification, cleanup,
+re-raise) is fine; catching a specific exception and ignoring it
+(``except OSError: pass``) is a deliberate, reviewable decision and is
+fine too. Justified exceptions to the rule carry a
+``# simlint: disable=ERR001`` pragma with a comment saying why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.findings import SEV_ERROR, Finding
+from repro.lint.project import Project
+from repro.lint.registry import rule
+
+#: Exception names considered "broad": catching these and discarding
+#: the error hides every failure class behind one silent handler.
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _names_broad(node: ast.expr) -> bool:
+    """Whether an ``except`` type expression names a broad exception.
+
+    Handles plain names, dotted ``builtins.Exception``, and tuples
+    containing either.
+    """
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _BROAD_NAMES
+    if isinstance(node, ast.Tuple):
+        return any(_names_broad(elt) for elt in node.elts)
+    return False
+
+
+def _body_swallows(body: List[ast.stmt]) -> bool:
+    """Whether a handler body discards the error without acting on it.
+
+    Only ``pass`` statements and bare ``...`` expressions count; any
+    other statement (logging, re-raise, assignment, return of a
+    fallback value) is taken as a deliberate handling decision.
+    """
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+@rule(
+    "ERR001",
+    severity=SEV_ERROR,
+    summary=(
+        "bare except: or broad except Exception/BaseException whose body "
+        "only passes — errors must surface as data, never be silently "
+        "swallowed"
+    ),
+)
+def err001_swallowed_exceptions(project: Project) -> Iterator[Finding]:
+    """No silent error loss anywhere in the tree.
+
+    Every failure in this repo is supposed to end up as structured data
+    (a taxonomy ``error_kind`` in the run manifest, a lint finding, a
+    raised error) — a handler that catches everything and does nothing
+    breaks that chain invisibly.
+    """
+    for f in project.files:
+        for node in ast.walk(f.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Finding(
+                    "ERR001", SEV_ERROR, f.path, node.lineno, node.col_offset,
+                    "bare except: catches SystemExit/KeyboardInterrupt too; "
+                    "name the exceptions this handler is prepared to handle",
+                )
+            elif _names_broad(node.type) and _body_swallows(node.body):
+                yield Finding(
+                    "ERR001", SEV_ERROR, f.path, node.lineno, node.col_offset,
+                    "broad exception handler silently swallows the error; "
+                    "handle it, record it as data, or catch something "
+                    "specific",
+                )

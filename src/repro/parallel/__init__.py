@@ -8,6 +8,11 @@ caching, and progress/manifest telemetry:
 
 * :mod:`repro.parallel.pool` — :func:`run_campaign` / :func:`run_cells`,
   the executor itself;
+* :mod:`repro.parallel.supervisor` — the persistent-worker runtime
+  behind ``jobs>1`` (heartbeats, crash isolation, poisoned-cell
+  quarantine, resource budgets);
+* :mod:`repro.parallel.errors` — the structured failure taxonomy
+  (``crash | oom | timeout | config | sim | poisoned | unknown``);
 * :mod:`repro.parallel.retry` — :class:`RetryPolicy`;
 * :mod:`repro.parallel.cache` — :class:`CellCache` over the JSON
   :class:`~repro.experiments.store.ResultStore`;
@@ -23,6 +28,7 @@ serial behavior byte-for-byte.
 """
 
 from repro.parallel.cache import CellCache, NullCache, as_cache
+from repro.parallel.errors import ERROR_KINDS, NO_RETRY_KINDS
 from repro.parallel.manifest import CellRecord, RunManifest
 from repro.parallel.pool import (
     CampaignError,
@@ -34,6 +40,11 @@ from repro.parallel.pool import (
 )
 from repro.parallel.progress import ProgressReporter
 from repro.parallel.retry import DEFAULT_CAMPAIGN_POLICY, NO_RETRY, RetryPolicy
+from repro.parallel.supervisor import (
+    DEFAULT_HEARTBEAT_S,
+    DEFAULT_POISON_THRESHOLD,
+    Supervisor,
+)
 
 __all__ = [
     "CampaignError",
@@ -42,11 +53,16 @@ __all__ = [
     "CellCache",
     "CellRecord",
     "DEFAULT_CAMPAIGN_POLICY",
+    "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_POISON_THRESHOLD",
+    "ERROR_KINDS",
     "NO_RETRY",
+    "NO_RETRY_KINDS",
     "NullCache",
     "ProgressReporter",
     "RetryPolicy",
     "RunManifest",
+    "Supervisor",
     "as_cache",
     "derive_seed",
     "run_campaign",

@@ -1,0 +1,72 @@
+"""The structured campaign error taxonomy.
+
+A failed cell is data, not a stack trace: every ``failed`` record in a
+:class:`~repro.parallel.manifest.RunManifest` carries an ``error_kind``
+from the closed set below, so downstream tooling (resume, the CLI
+summary line, CI triage) can branch on *why* a cell failed without
+parsing error strings.
+
+========   ============================================================
+crash      the worker process executing the cell died unexpectedly
+           (SIGKILL, segfault, hard OOM kill) or stopped heartbeating
+oom        the cell exceeded its RSS budget — ``resource.setrlimit``
+           (``RLIMIT_AS``) made an allocation fail with ``MemoryError``
+timeout    the cell exceeded its wall-clock budget and the supervisor
+           preempted the worker
+config     the cell's :class:`~repro.experiments.config.ExperimentConfig`
+           failed validation (deterministic — never retried)
+sim        the simulation itself raised (any other in-cell exception)
+poisoned   the circuit breaker tripped: the cell killed
+           ``poison_threshold`` workers and was quarantined instead of
+           being retried again or aborting the campaign
+unknown    a record from a manifest written before the taxonomy existed
+========   ============================================================
+"""
+
+from __future__ import annotations
+
+ERR_CRASH = "crash"
+ERR_OOM = "oom"
+ERR_TIMEOUT = "timeout"
+ERR_CONFIG = "config"
+ERR_SIM = "sim"
+ERR_POISONED = "poisoned"
+ERR_UNKNOWN = "unknown"
+
+#: Every valid ``error_kind`` value, in severity-of-surprise order.
+ERROR_KINDS = (
+    ERR_CRASH,
+    ERR_OOM,
+    ERR_TIMEOUT,
+    ERR_CONFIG,
+    ERR_SIM,
+    ERR_POISONED,
+    ERR_UNKNOWN,
+)
+
+#: Kinds that are deterministic for a given config: retrying burns a
+#: worker slot to reproduce the same failure, so the executor records
+#: them immediately instead of consulting the retry policy.
+NO_RETRY_KINDS = frozenset({ERR_CONFIG, ERR_POISONED})
+
+
+def classify_exception(exc: BaseException) -> str:
+    """Map an in-cell exception to its taxonomy kind.
+
+    ``MemoryError`` means the RSS budget (or the host) refused an
+    allocation; a :class:`~repro.experiments.config.ConfigError` is a
+    deterministic bad config; everything else raised by the simulation
+    is ``sim``.
+    """
+    from repro.experiments.config import ConfigError
+
+    if isinstance(exc, MemoryError):
+        return ERR_OOM
+    if isinstance(exc, ConfigError):
+        return ERR_CONFIG
+    return ERR_SIM
+
+
+def format_error(exc: BaseException) -> str:
+    """The one-line error text recorded alongside the kind."""
+    return f"{type(exc).__name__}: {exc}"

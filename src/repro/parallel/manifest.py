@@ -32,6 +32,13 @@ class CellRecord:
     attempts: int
     wall_seconds: float
     error: Optional[str] = None
+    # Structured failure taxonomy (repro.parallel.errors) — set for
+    # status == "failed". Manifests written before the taxonomy existed
+    # load as "unknown".
+    error_kind: Optional[str] = None
+    # Worker processes this cell killed or had preempted while it was
+    # in flight (crash / stall / timeout kills attributed to the cell).
+    worker_restarts: int = 0
     # Trace digest of the cell's run, when it was executed with tracing
     # (repro.trace) — the event-level equivalence token across jobs=1
     # and jobs=N executions of the same campaign.
@@ -55,6 +62,9 @@ class RunManifest:
     failures: int = 0
     interrupted: int = 0
     retries: int = 0
+    # Total worker processes the supervisor restarted during the
+    # campaign (crashes, stalls, timeout preemptions).
+    worker_restarts: int = 0
     worker_seconds: float = 0.0
     elapsed_seconds: float = 0.0
     # False while the campaign is still running (checkpoint flushes)
@@ -69,6 +79,7 @@ class RunManifest:
         *,
         jobs: int = 1,
         retries: int = 0,
+        worker_restarts: int = 0,
         elapsed_seconds: float = 0.0,
     ) -> "RunManifest":
         """Build the manifest from a campaign's cell outcomes.
@@ -76,7 +87,10 @@ class RunManifest:
         ``None`` entries (cells with no terminal state yet, as during a
         checkpoint flush) are skipped.
         """
-        manifest = cls(jobs=jobs, retries=retries, elapsed_seconds=elapsed_seconds)
+        manifest = cls(
+            jobs=jobs, retries=retries, worker_restarts=worker_restarts,
+            elapsed_seconds=elapsed_seconds,
+        )
         for out in outcomes:
             if out is not None:
                 manifest.add(out)
@@ -103,6 +117,8 @@ class RunManifest:
                 attempts=outcome.attempts,
                 wall_seconds=outcome.wall_seconds,
                 error=outcome.error,
+                error_kind=getattr(outcome, "error_kind", None),
+                worker_restarts=getattr(outcome, "worker_restarts", 0),
                 digest=getattr(outcome.result, "trace_digest", None),
                 failed_flows=(
                     getattr(outcome.result, "failed_flows", None)
@@ -117,6 +133,14 @@ class RunManifest:
 
     def failed_cells(self) -> List[CellRecord]:
         return [c for c in self.cells if c.status == "failed"]
+
+    def failed_kinds(self) -> Dict[str, int]:
+        """Failure counts per taxonomy ``error_kind``."""
+        kinds: Dict[str, int] = {}
+        for c in self.failed_cells():
+            kind = c.error_kind or "unknown"
+            kinds[kind] = kinds.get(kind, 0) + 1
+        return kinds
 
     def completed_keys(self) -> Set[str]:
         """Config keys of every cell that finished with a result."""
@@ -153,4 +177,10 @@ class RunManifest:
         with open(path) as fh:
             data = json.load(fh)
         cells = [CellRecord(**c) for c in data.pop("cells", [])]
+        # Manifests written before the error taxonomy existed carry
+        # failed records with no kind; backfill "unknown" so resume and
+        # reporting can branch on the field unconditionally.
+        for cell in cells:
+            if cell.status == "failed" and cell.error_kind is None:
+                cell.error_kind = "unknown"
         return cls(cells=cells, **data)

@@ -1,4 +1,4 @@
-"""Fault-tolerant fan-out of experiment cells over a process pool.
+"""Fault-tolerant fan-out of experiment cells over supervised workers.
 
 A campaign is a list of :class:`ExperimentConfig` cells, each a pure
 function of its config (the RNG registry is seeded from ``config.seed``
@@ -8,70 +8,87 @@ such a list into a job run:
 
 * ``jobs=1`` executes in-process, in submission order — byte-identical
   to the historical serial drivers;
-* ``jobs>1`` fans out over a :class:`ProcessPoolExecutor` (``fork``
-  start method where available) with per-job timeouts, bounded retry
-  with backoff (:mod:`repro.parallel.retry`), and pool recycling when
-  a worker dies hard; the worker count is capped to the visible core
-  count (oversubscribing CPU-bound cells only adds overhead), and when
-  the cap leaves a single worker the run degrades to the in-process
-  path — unless a ``timeout_s`` must be enforced, which needs a
-  preemptable worker process;
+* ``jobs>1`` fans out over the supervised persistent-worker runtime
+  (:mod:`repro.parallel.supervisor`): long-lived worker processes that
+  execute many cells each, per-worker heartbeats with liveness
+  deadlines, individual worker restart on crash (only the dead worker's
+  in-flight cell is retried), a poisoned-cell circuit breaker, and
+  per-cell resource budgets (``timeout_s`` wall clock enforced by the
+  supervisor, ``max_rss_mb`` via ``RLIMIT_AS`` inside the worker). The
+  worker count is capped to the visible core count (oversubscribing
+  CPU-bound cells only adds overhead — pass ``oversubscribe=True`` to
+  lift the cap, e.g. for chaos testing), and when the cap leaves a
+  single worker with no budgets to enforce the run degrades to the
+  in-process path;
 * a cache (:mod:`repro.parallel.cache`) is consulted read-through
   before any cell is simulated and populated write-through as results
   arrive, so resumed campaigns skip completed cells;
 * every cell ends in a terminal :class:`CellOutcome` — a crashed or
   hung cell becomes a ``failed`` record in the run manifest
-  (:mod:`repro.parallel.manifest`) instead of killing the campaign;
-* Ctrl-C is graceful: queued cells are cancelled, executing cells are
-  *drained* (their results land in the cache and manifest; a second
-  Ctrl-C abandons them as ``interrupted``), the manifest checkpoint is
-  flushed, and :class:`CampaignInterrupted` is raised with a clean
-  summary and the partial :class:`CampaignResult` attached;
+  (:mod:`repro.parallel.manifest`) with a structured ``error_kind``
+  from :mod:`repro.parallel.errors` instead of killing the campaign;
+* SIGINT (Ctrl-C) and SIGTERM are graceful: queued cells are
+  cancelled, executing cells are *drained* (their results land in the
+  cache and manifest; a second signal abandons them as
+  ``interrupted``), the manifest checkpoint is flushed, and
+  :class:`CampaignInterrupted` is raised with a clean summary and the
+  partial :class:`CampaignResult` attached;
 * the manifest (``manifest_path=``) is checkpointed atomically after
   every terminal cell, and ``resume_from=`` replays a prior manifest —
-  completed cells come back through the cache, everything else re-runs.
+  completed cells come back through the cache, quarantined failures
+  (poisoned cells, timeouts, …) are replayed as ``failed`` records
+  without burning workers on them again unless ``retry_failed=True``,
+  and everything else re-runs.
 """
 
 from __future__ import annotations
 
 import hashlib
-import multiprocessing
 import os
+import signal
+import threading
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from repro.experiments.config import ConfigError, ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.experiments.store import config_key
 from repro.parallel.cache import as_cache
+from repro.parallel.errors import (
+    ERR_SIM,
+    ERR_UNKNOWN,
+    NO_RETRY_KINDS,
+    classify_exception,
+    format_error,
+)
 from repro.parallel.manifest import RunManifest
 from repro.parallel.progress import ProgressReporter
 from repro.parallel.retry import NO_RETRY, RetryPolicy
+from repro.parallel.supervisor import (
+    DEFAULT_HEARTBEAT_S,
+    DEFAULT_POISON_THRESHOLD,
+    run_supervised,
+)
 
 
-def _effective_workers(jobs: int, n_pending: int) -> int:
+def _effective_workers(
+    jobs: int, n_pending: int, *, oversubscribe: bool = False
+) -> int:
     """Worker processes that can actually run concurrently.
 
     Asking for more workers than cores makes campaigns *slower*, not
     faster: the cells are CPU-bound, so extra workers only add fork and
     IPC overhead plus scheduler thrash. The executor therefore caps the
     requested ``jobs`` to the visible core count and to the number of
-    pending cells.
+    pending cells. ``oversubscribe=True`` lifts the core cap — useful
+    when the point is exercising real multi-worker supervision (chaos
+    tests) rather than throughput.
     """
     cores = os.cpu_count() or 1
-    return max(1, min(jobs, cores, n_pending))
-
-
-def _make_executor(workers: int) -> ProcessPoolExecutor:
-    """A pool using ``fork`` where available (cheap start, no re-import)."""
-    if "fork" in multiprocessing.get_all_start_methods():
-        ctx = multiprocessing.get_context("fork")
-        return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
-    return ProcessPoolExecutor(max_workers=workers)
+    cap = jobs if oversubscribe else min(jobs, cores)
+    return max(1, min(cap, n_pending))
 
 
 def derive_seed(base_seed: int, index: int) -> int:
@@ -97,6 +114,12 @@ class CellOutcome:
     wall_seconds: float
     result: Any = None
     error: Optional[str] = None
+    # Structured failure taxonomy (repro.parallel.errors); set only for
+    # status == "failed".
+    error_kind: Optional[str] = None
+    # Worker processes this cell killed or had preempted while it was
+    # in flight (crash / stall / timeout kills attributed to the cell).
+    worker_restarts: int = 0
 
     @property
     def ok(self) -> bool:
@@ -139,7 +162,7 @@ class CampaignError(RuntimeError):
 
 
 class CampaignInterrupted(KeyboardInterrupt):
-    """The campaign was interrupted (Ctrl-C) after a graceful drain.
+    """The campaign was interrupted (SIGINT/SIGTERM) after a drain.
 
     Subclasses :class:`KeyboardInterrupt` so un-aware callers still
     terminate, but carries the partial :class:`CampaignResult` (every
@@ -171,13 +194,36 @@ class _CellJob:
     attempts: int = 0
     started: float = 0.0
     not_before: float = 0.0
+    # Sequence number of the dispatch currently executing this cell on
+    # a supervised worker (stale replies are matched against it).
+    seq: int = -1
+    worker_restarts: int = 0
 
 
-def _timed_call(fn: Callable[[Any], Any], cfg: Any):
-    """Worker entry point: run one cell and measure its wall time."""
-    started = time.perf_counter()
-    result = fn(cfg)
-    return result, time.perf_counter() - started
+def _install_sigterm_handler() -> Callable[[], None]:
+    """Map SIGTERM onto KeyboardInterrupt so it drains like Ctrl-C.
+
+    Returns a restore callable. A no-op off the main thread (the signal
+    module refuses handlers there) and on platforms without SIGTERM.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return lambda: None
+
+    def raise_interrupt(signum, frame) -> None:
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, raise_interrupt)
+    except (ValueError, OSError, AttributeError):
+        return lambda: None
+
+    def restore() -> None:
+        try:
+            signal.signal(signal.SIGTERM, previous)
+        except (ValueError, OSError):
+            return
+
+    return restore
 
 
 def run_campaign(
@@ -187,11 +233,16 @@ def run_campaign(
     cache=None,
     retry: Optional[RetryPolicy] = None,
     timeout_s: Optional[float] = None,
+    max_rss_mb: Optional[float] = None,
     progress: Optional[ProgressReporter] = None,
     run_fn: Optional[Callable[[Any], Any]] = None,
     reseed_from: Optional[int] = None,
     manifest_path: Optional[str] = None,
     resume_from: Optional[Any] = None,
+    retry_failed: bool = False,
+    poison_threshold: int = DEFAULT_POISON_THRESHOLD,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    oversubscribe: bool = False,
 ) -> CampaignResult:
     """Run every cell of a campaign; never raises for cell failures.
 
@@ -202,19 +253,30 @@ def run_campaign(
     :class:`~repro.parallel.cache.CellCache` (None disables caching).
     ``reseed_from`` rewrites each cell's seed with
     :func:`derive_seed(reseed_from, index) <derive_seed>` — the same
-    seeds at any ``jobs`` value. ``timeout_s`` bounds one attempt and is
-    enforced only for ``jobs > 1`` (a serial run cannot preempt itself).
+    seeds at any ``jobs`` value.
+
+    Per-cell budgets apply to ``jobs > 1`` (a serial run cannot preempt
+    itself): ``timeout_s`` bounds one attempt's wall clock — the
+    supervisor kills and replaces the worker (``error_kind="timeout"``);
+    ``max_rss_mb`` caps worker address space via ``RLIMIT_AS`` so a
+    runaway allocation fails in-place with ``MemoryError``
+    (``error_kind="oom"``). A cell whose crashes kill
+    ``poison_threshold`` workers is quarantined as ``failed`` with
+    ``error_kind="poisoned"`` instead of looping.
 
     ``manifest_path`` additionally checkpoints the manifest after every
     terminal cell (atomic replace), so a killed campaign leaves a valid
     partial manifest. ``resume_from`` (a manifest path or
     :class:`RunManifest`) replays such a checkpoint: cells it recorded
     as completed are expected back from the cache (a cache miss re-runs
-    them with a note), everything else re-runs.
+    them with a note), cells it recorded as ``failed`` are replayed as
+    failed outcomes without re-running — pass ``retry_failed=True`` to
+    re-run exactly that set — and everything else re-runs.
 
-    Ctrl-C does not lose finished work: queued cells are cancelled,
-    executing cells drain (a second Ctrl-C abandons them), and
-    :class:`CampaignInterrupted` is raised carrying the partial result.
+    SIGINT/SIGTERM do not lose finished work: queued cells are
+    cancelled, executing cells drain (a second signal abandons them),
+    and :class:`CampaignInterrupted` is raised carrying the partial
+    result.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -224,6 +286,7 @@ def run_campaign(
     reporter = progress if progress is not None else ProgressReporter()
 
     resume_keys = set()
+    prior_failed = {}
     if resume_from is not None:
         prior = (
             resume_from
@@ -231,6 +294,8 @@ def run_campaign(
             else RunManifest.load(resume_from)
         )
         resume_keys = prior.completed_keys()
+        if not retry_failed:
+            prior_failed = {c.key: c for c in prior.failed_cells()}
 
     cells: List[Any] = list(configs)
     if reseed_from is not None:
@@ -252,6 +317,7 @@ def run_campaign(
     def build_manifest(*, complete: bool) -> RunManifest:
         manifest = RunManifest.from_outcomes(
             outcomes, jobs=jobs, retries=reporter.retries,
+            worker_restarts=reporter.worker_restarts,
             elapsed_seconds=reporter.elapsed_seconds(),
         )
         manifest.complete = complete
@@ -261,7 +327,8 @@ def run_campaign(
         if manifest_path is not None:
             build_manifest(complete=False).save(manifest_path)
 
-    # Read-through: completed cells are served from the cache.
+    # Read-through: completed cells are served from the cache, prior
+    # quarantined failures are replayed as records (not re-run).
     for i, cfg in enumerate(cells):
         key = config_key(cfg) if isinstance(cfg, ExperimentConfig) else _fallback_key(cfg)
         cached = cache.load(cfg) if isinstance(cfg, ExperimentConfig) else None
@@ -269,6 +336,20 @@ def run_campaign(
             outcomes[i] = CellOutcome(
                 index=i, config=cfg, key=key, status="cached",
                 attempts=0, wall_seconds=0.0, result=cached,
+            )
+            reporter.on_outcome(outcomes[i])
+        elif key in prior_failed:
+            rec = prior_failed[key]
+            kind = rec.error_kind or ERR_UNKNOWN
+            outcomes[i] = CellOutcome(
+                index=i, config=cfg, key=key, status="failed",
+                attempts=rec.attempts, wall_seconds=0.0, error=rec.error,
+                error_kind=kind, worker_restarts=rec.worker_restarts,
+            )
+            reporter.note(
+                f"resume: cell {i} ({key}) failed in the prior run "
+                f"(error_kind={kind}); replaying its record — "
+                "pass retry_failed to re-run it"
             )
             reporter.on_outcome(outcomes[i])
         else:
@@ -284,15 +365,19 @@ def run_campaign(
         outcomes[job.index] = CellOutcome(
             index=job.index, config=job.config, key=job.key, status="ok",
             attempts=job.attempts + 1, wall_seconds=wall, result=result,
+            worker_restarts=job.worker_restarts,
         )
         cache.save(result)  # write-through
         reporter.on_outcome(outcomes[job.index])
         checkpoint()
 
-    def record_failed(job: _CellJob, error: str, wall: float) -> None:
+    def record_failed(
+        job: _CellJob, error: str, wall: float, error_kind: str = ERR_SIM
+    ) -> None:
         outcomes[job.index] = CellOutcome(
             index=job.index, config=job.config, key=job.key, status="failed",
             attempts=job.attempts, wall_seconds=wall, error=error,
+            error_kind=error_kind, worker_restarts=job.worker_restarts,
         )
         reporter.on_outcome(outcomes[job.index])
         checkpoint()
@@ -302,18 +387,21 @@ def run_campaign(
             index=job.index, config=job.config, key=job.key,
             status="interrupted", attempts=job.attempts,
             wall_seconds=wall, error=error,
+            worker_restarts=job.worker_restarts,
         )
         reporter.on_outcome(outcomes[job.index])
         checkpoint()
 
     was_interrupted = False
     if pending:
-        # A pool only helps while multiple workers can actually run; on
-        # a starved host (workers capped to 1) the in-process path is
-        # strictly faster — unless a timeout must be enforced, which
-        # requires a preemptable worker process.
-        workers = _effective_workers(jobs, len(pending))
-        use_pool = jobs > 1 and (workers > 1 or timeout_s is not None)
+        # Supervised workers only help while several can actually run;
+        # on a starved host (workers capped to 1) the in-process path
+        # is strictly faster — unless a resource budget must be
+        # enforced, which requires a preemptable worker process.
+        workers = _effective_workers(jobs, len(pending), oversubscribe=oversubscribe)
+        use_pool = jobs > 1 and (
+            workers > 1 or timeout_s is not None or max_rss_mb is not None
+        )
         if jobs > 1 and workers < jobs and use_pool:
             reporter.note(
                 f"jobs={jobs} capped to {workers} worker(s) "
@@ -324,6 +412,7 @@ def run_campaign(
                 f"jobs={jobs} on {os.cpu_count() or 1} core(s): "
                 "running in-process (a pool would only add overhead)"
             )
+        restore_sigterm = _install_sigterm_handler()
         try:
             if not use_pool:
                 _run_serial(
@@ -331,12 +420,17 @@ def run_campaign(
                     record_ok, record_failed, record_interrupted,
                 )
             else:
-                _run_pool(
-                    pending, fn, retry, workers, timeout_s, reporter,
+                run_supervised(
+                    deque(pending), fn, retry, workers, timeout_s,
+                    max_rss_mb, reporter,
                     record_ok, record_failed, record_interrupted,
+                    heartbeat_s=heartbeat_s,
+                    poison_threshold=poison_threshold,
                 )
         except KeyboardInterrupt:
             was_interrupted = True
+        finally:
+            restore_sigterm()
 
     reporter.finish()
     manifest = build_manifest(complete=not was_interrupted)
@@ -381,168 +475,15 @@ def _run_serial(
             except Exception as exc:
                 wall = time.perf_counter() - started
                 job.attempts += 1
-                error = f"{type(exc).__name__}: {exc}"
-                if retry.should_retry(job.attempts):
+                kind = classify_exception(exc)
+                error = format_error(exc)
+                if kind not in NO_RETRY_KINDS and retry.should_retry(job.attempts):
                     reporter.on_retry(job.index, job.attempts, error)
                     delay = retry.delay_s(job.attempts)
                     if delay > 0:
                         time.sleep(delay)
                     continue
-                record_failed(job, error, wall)
+                record_failed(job, error, wall, error_kind=kind)
             else:
                 record_ok(job, result, time.perf_counter() - started)
             break
-
-
-def _run_pool(
-    pending, fn, retry, jobs, timeout_s, reporter,
-    record_ok, record_failed, record_interrupted,
-) -> None:
-    """The ``jobs>1`` path: process pool + timeouts + retry + recycling."""
-    queue = deque(pending)
-    running: Dict[Future, _CellJob] = {}
-    # Futures whose deadline passed while already executing: the worker
-    # cannot be preempted, so the future is abandoned and its slot
-    # counted busy until the worker actually finishes.
-    abandoned: List[Future] = []
-    executor = _make_executor(jobs)
-
-    def attempt_failed(job: _CellJob, error: str, wall: float) -> None:
-        job.attempts += 1
-        if retry.should_retry(job.attempts):
-            reporter.on_retry(job.index, job.attempts, error)
-            job.not_before = time.monotonic() + retry.delay_s(job.attempts)
-            queue.append(job)
-        else:
-            record_failed(job, error, wall)
-
-    def drain_interrupted() -> None:
-        """First Ctrl-C: stop submitting, let executing cells finish.
-
-        A second Ctrl-C during the drain abandons whatever is still
-        running (recorded ``interrupted``); queued cells are always
-        cancelled as ``interrupted before start``.
-        """
-        reporter.note(
-            f"interrupt: cancelling {len(queue)} queued cell(s), draining "
-            f"{len(running)} executing cell(s) — Ctrl-C again to abort"
-        )
-        try:
-            while running:
-                done, _ = wait(set(running), return_when=FIRST_COMPLETED)
-                now = time.monotonic()
-                for future in done:
-                    job = running.pop(future)
-                    try:
-                        result, worker_wall = future.result()
-                    except Exception as exc:
-                        record_failed(
-                            job, f"{type(exc).__name__}: {exc}", now - job.started
-                        )
-                    else:
-                        record_ok(job, result, worker_wall)
-        except KeyboardInterrupt:
-            now = time.monotonic()
-            for future, job in list(running.items()):
-                if not future.cancel():
-                    abandoned.append(future)
-                record_interrupted(
-                    job, "interrupted while executing", now - job.started
-                )
-            running.clear()
-        for job in queue:
-            record_interrupted(job, "interrupted before start")
-        queue.clear()
-
-    def recycle_executor() -> None:
-        """Replace a broken pool; every in-flight job failed with it."""
-        nonlocal executor
-        executor.shutdown(wait=False, cancel_futures=True)
-        abandoned.clear()
-        executor = _make_executor(jobs)
-
-    def main_loop() -> None:
-        while queue or running:
-            now = time.monotonic()
-            abandoned[:] = [f for f in abandoned if not f.done()]
-            capacity = jobs - len(running) - len(abandoned)
-
-            for _ in range(len(queue)):
-                if capacity <= 0:
-                    break
-                job = queue.popleft()
-                if job.not_before > now:
-                    queue.append(job)  # still backing off
-                    continue
-                future = executor.submit(_timed_call, fn, job.config)
-                job.started = now
-                running[future] = job
-                capacity -= 1
-
-            if not running:
-                # Everything left is backing off; sleep to the nearest.
-                wake = min(job.not_before for job in queue)
-                time.sleep(max(0.01, min(wake - now, 0.2)))
-                continue
-
-            wait_timeout = None if (not queue and timeout_s is None) else 0.05
-            if timeout_s is not None:
-                next_deadline = min(j.started + timeout_s for j in running.values())
-                wait_timeout = max(0.01, min(next_deadline - now, 0.2))
-            done, _ = wait(set(running), timeout=wait_timeout, return_when=FIRST_COMPLETED)
-
-            now = time.monotonic()
-            broken = False
-            for future in done:
-                job = running.pop(future)
-                wall = now - job.started
-                try:
-                    result, worker_wall = future.result()
-                except BrokenProcessPool:
-                    broken = True
-                    attempt_failed(job, "BrokenProcessPool: worker died abruptly", wall)
-                except Exception as exc:
-                    attempt_failed(job, f"{type(exc).__name__}: {exc}", wall)
-                else:
-                    record_ok(job, result, worker_wall)
-
-            if broken:
-                # The pool is unusable: every other in-flight future is
-                # doomed too. Fail their attempts and start fresh.
-                for future, job in list(running.items()):
-                    attempt_failed(job, "BrokenProcessPool: worker died abruptly",
-                                   now - job.started)
-                running.clear()
-                recycle_executor()
-                continue
-
-            if timeout_s is not None:
-                for future, job in list(running.items()):
-                    if now - job.started > timeout_s:
-                        del running[future]
-                        if not future.cancel():
-                            abandoned.append(future)
-                        attempt_failed(
-                            job,
-                            f"TimeoutError: cell exceeded {timeout_s}s",
-                            now - job.started,
-                        )
-
-    try:
-        try:
-            main_loop()
-        except KeyboardInterrupt:
-            drain_interrupted()
-            raise
-    finally:
-        if any(not f.done() for f in abandoned):
-            # Hung workers: don't block shutdown on them.
-            procs = list((getattr(executor, "_processes", None) or {}).values())
-            executor.shutdown(wait=False, cancel_futures=True)
-            for proc in procs:
-                try:
-                    proc.terminate()
-                except Exception:
-                    pass
-        else:
-            executor.shutdown()

@@ -12,7 +12,7 @@ run manifest is built from the same counters).
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional, TextIO
+from typing import Callable, Dict, Optional, TextIO
 
 
 class ProgressReporter:
@@ -32,8 +32,10 @@ class ProgressReporter:
         self.ok = 0
         self.cached = 0
         self.failed = 0
+        self.failed_kinds: Dict[str, int] = {}
         self.interrupted = 0
         self.retries = 0
+        self.worker_restarts = 0
         self.worker_seconds = 0.0
         self._started: Optional[float] = None
         self._finished: Optional[float] = None
@@ -51,6 +53,11 @@ class ProgressReporter:
         self.retries += 1
         self._emit(f"cell {index} attempt {attempt} failed ({error}); retrying")
 
+    def on_worker_restart(self, worker_id: int, line: str) -> None:
+        """The supervisor killed or lost a worker and is replacing it."""
+        self.worker_restarts += 1
+        self._emit(line)
+
     def on_outcome(self, outcome) -> None:
         """A cell reached a terminal state (ok / cached / failed / interrupted)."""
         self.done += 1
@@ -59,6 +66,8 @@ class ProgressReporter:
             self.cached += 1
         elif status == "failed":
             self.failed += 1
+            kind = getattr(outcome, "error_kind", None) or "unknown"
+            self.failed_kinds[kind] = self.failed_kinds.get(kind, 0) + 1
         elif status == "interrupted":
             self.interrupted += 1
         else:
@@ -105,7 +114,17 @@ class ProgressReporter:
         if self.retries:
             parts.append(f"{self.retries} retries")
         if self.failed:
-            parts.append(f"{self.failed} failed")
+            kinds = ",".join(
+                f"{kind}:{count}"
+                for kind, count in sorted(
+                    self.failed_kinds.items(), key=lambda kv: (-kv[1], kv[0])
+                )
+            )
+            parts.append(
+                f"{self.failed} failed ({kinds})" if kinds else f"{self.failed} failed"
+            )
+        if self.worker_restarts:
+            parts.append(f"{self.worker_restarts} worker restarts")
         if self.interrupted:
             parts.append(f"{self.interrupted} interrupted")
         parts.append(f"worker {self.worker_seconds:.1f}s")

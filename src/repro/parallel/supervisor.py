@@ -1,0 +1,612 @@
+"""Supervised persistent-worker runtime for campaign fan-out.
+
+The executor in :mod:`repro.parallel.pool` used to rent a
+``ProcessPoolExecutor`` per campaign; this module replaces it with a
+runtime the campaign *owns*:
+
+* **persistent workers** — each worker process executes many cells over
+  a ``multiprocessing`` pipe, so a campaign pays process start-up once
+  per worker instead of once per pool recycle, and ``jobs=N`` can
+  actually approach ``N``-fold speedup on a wide matrix;
+* **heartbeats + liveness deadlines** — every worker runs a heartbeat
+  thread; a worker that stops beating while its process is still alive
+  (wedged in a C extension, livelocked) is killed and replaced instead
+  of hanging the campaign;
+* **crash isolation** — a worker that dies hard (SIGKILL, segfault,
+  kernel OOM-kill) loses only its own in-flight cell; the supervisor
+  restarts *that one worker* and retries *that one cell* while every
+  other worker keeps executing;
+* **poisoned-cell circuit breaker** — a cell that kills
+  ``poison_threshold`` workers is quarantined as a structured
+  ``failed`` record with ``error_kind="poisoned"`` instead of looping
+  through restarts or aborting the campaign;
+* **resource budgets** — per-cell wall clock is enforced by the
+  supervisor (``error_kind="timeout"``); RSS is enforced inside the
+  worker via ``resource.setrlimit(RLIMIT_AS)`` so a runaway allocation
+  fails with ``MemoryError`` (``error_kind="oom"``) while the worker
+  survives;
+* **graceful drain** — on ``KeyboardInterrupt`` (the executor maps
+  SIGTERM onto it too) queued cells are cancelled and executing cells
+  drain to completion, exactly like the historical Ctrl-C path.
+
+The wire protocol is deliberately tiny. Supervisor → worker::
+
+    ("run", seq, config)     execute one cell
+    ("stop",)                exit the worker loop
+
+Worker → supervisor::
+
+    ("ready",)                        the worker loop is up
+    ("hb",)                           heartbeat (every ``heartbeat_s``)
+    ("done", seq, "ok", result, wall) cell finished
+    ("done", seq, kind, error, wall)  cell raised; *kind* is a taxonomy
+                                      error kind (oom/config/sim)
+
+Everything else — crash, stall, timeout, poison — is inferred by the
+supervisor from process sentinels and deadlines, because a dead or
+wedged worker by definition cannot report its own failure.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.parallel.errors import (
+    ERR_CRASH,
+    ERR_POISONED,
+    ERR_TIMEOUT,
+    NO_RETRY_KINDS,
+    classify_exception,
+    format_error,
+)
+from repro.parallel.retry import RetryPolicy
+
+#: Default seconds between worker heartbeats.
+DEFAULT_HEARTBEAT_S = 0.25
+
+#: Default worker kills a single cell may cause before quarantine.
+DEFAULT_POISON_THRESHOLD = 2
+
+
+def _mp_context():
+    """``fork`` where available (cheap start, no re-import), else spawn."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+def _apply_rss_budget(max_rss_mb: Optional[float]) -> None:
+    """Cap the worker's address space; a breach raises ``MemoryError``.
+
+    ``RLIMIT_AS`` is the only portable way to make Python allocations
+    fail softly instead of inviting the kernel OOM killer. On platforms
+    without ``resource`` (or where the limit cannot be lowered) the
+    budget silently degrades to wall-clock-only enforcement — the
+    supervisor still bounds the cell, just less precisely.
+    """
+    if max_rss_mb is None:
+        return
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return
+    limit = int(max_rss_mb * 1024 * 1024)
+    try:
+        soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+        if hard != resource.RLIM_INFINITY:
+            limit = min(limit, hard)
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+    except (ValueError, OSError):  # pragma: no cover - exotic rlimit state
+        return
+
+
+def worker_main(
+    conn,
+    fn: Callable[[Any], Any],
+    heartbeat_s: float,
+    max_rss_mb: Optional[float],
+) -> None:
+    """The persistent worker loop (runs in the child process).
+
+    Public so spawn-method platforms can pickle it by qualified name.
+    SIGINT is ignored (a terminal Ctrl-C hits the whole process group;
+    draining is the supervisor's decision), SIGTERM is reset to the
+    default so supervisor shutdown terminates promptly.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    _apply_rss_budget(max_rss_mb)
+
+    send_lock = threading.Lock()
+    stop_beating = threading.Event()
+
+    def send(msg) -> bool:
+        try:
+            with send_lock:
+                conn.send(msg)
+            return True
+        except (OSError, ValueError):
+            # The supervisor went away (or the payload cannot cross the
+            # pipe); the caller decides whether that is fatal.
+            return False
+
+    def beat() -> None:
+        while not stop_beating.wait(heartbeat_s):
+            if not send(("hb",)):
+                return
+
+    heartbeat = threading.Thread(target=beat, name="heartbeat", daemon=True)
+    heartbeat.start()
+    send(("ready",))
+
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break  # supervisor died; no point outliving it
+            if msg[0] == "stop":
+                break
+            _, seq, cfg = msg
+            started = time.perf_counter()
+            try:
+                result = fn(cfg)
+            except KeyboardInterrupt:  # SIG_IGN should prevent this
+                break
+            except BaseException as exc:
+                wall = time.perf_counter() - started
+                reply = ("done", seq, classify_exception(exc),
+                         format_error(exc), wall)
+            else:
+                wall = time.perf_counter() - started
+                reply = ("done", seq, "ok", result, wall)
+            if not send(reply):
+                if reply[2] == "ok":
+                    # The result itself may be unpicklable/oversized —
+                    # degrade to a structured sim error rather than
+                    # dying with an opaque pipe failure.
+                    if not send(("done", seq, "sim",
+                                 "result could not be sent to the "
+                                 "supervisor (unpicklable or pipe closed)",
+                                 reply[4])):
+                        break
+                else:
+                    break
+    finally:
+        stop_beating.set()
+
+
+class _WorkerHandle:
+    """Supervisor-side state of one worker process."""
+
+    __slots__ = (
+        "id", "proc", "conn", "job", "dispatched_at", "last_seen",
+        "expected_death", "cells_done",
+    )
+
+    def __init__(self, worker_id: int, proc, conn) -> None:
+        self.id = worker_id
+        self.proc = proc
+        self.conn = conn
+        self.job = None
+        self.dispatched_at = 0.0
+        self.last_seen = time.monotonic()
+        #: True when the supervisor itself killed this worker (timeout /
+        #: stall / abort) and has already accounted for its in-flight
+        #: cell — the sentinel firing later must not double-count.
+        self.expected_death = False
+        self.cells_done = 0
+
+
+class Supervisor:
+    """Owns the worker fleet and runs one campaign's pending cells.
+
+    The four ``record_*``/``reporter`` callables are the same closures
+    :func:`repro.parallel.pool.run_campaign` hands its serial path, so
+    outcomes, manifest checkpoints and progress telemetry are identical
+    regardless of the execution backend.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        *,
+        workers: int,
+        retry: RetryPolicy,
+        reporter,
+        record_ok,
+        record_failed,
+        record_interrupted,
+        timeout_s: Optional[float] = None,
+        max_rss_mb: Optional[float] = None,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        poison_threshold: int = DEFAULT_POISON_THRESHOLD,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if poison_threshold < 1:
+            raise ValueError("poison_threshold must be >= 1")
+        self.fn = fn
+        self.n_workers = workers
+        self.retry = retry
+        self.reporter = reporter
+        self.record_ok = record_ok
+        self.record_failed = record_failed
+        self.record_interrupted = record_interrupted
+        self.timeout_s = timeout_s
+        self.max_rss_mb = max_rss_mb
+        self.heartbeat_s = heartbeat_s
+        #: No heartbeat for this long while the process is alive ⇒ the
+        #: worker is wedged and gets killed. Generous: heartbeats come
+        #: from a daemon thread that only needs an occasional GIL slice.
+        self.liveness_s = max(5.0, heartbeat_s * 40)
+        self.poison_threshold = poison_threshold
+
+        self._ctx = _mp_context()
+        self._workers: List[_WorkerHandle] = []
+        self._queue: Deque = None  # type: ignore[assignment]
+        self._kills: Dict[str, int] = {}  # cell key -> workers it killed
+        self._next_worker_id = 0
+        self._next_seq = 0
+        self._draining = False
+        self.worker_restarts = 0  # campaign-total replacement spawns
+
+    # -- fleet management ----------------------------------------------
+
+    def _spawn(self) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, self.fn, self.heartbeat_s, self.max_rss_mb),
+            name=f"repro-worker-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        handle = _WorkerHandle(worker_id, proc, parent_conn)
+        self._workers.append(handle)
+        return handle
+
+    def _kill(self, worker: _WorkerHandle) -> None:
+        """Hard-stop a worker the supervisor has given up on."""
+        worker.expected_death = True
+        try:
+            worker.proc.kill()
+        except (OSError, ValueError):
+            return  # already gone
+
+    def _discard(self, worker: _WorkerHandle) -> None:
+        if worker in self._workers:
+            self._workers.remove(worker)
+        try:
+            worker.conn.close()
+        except OSError:
+            return
+
+    def _want_respawn(self) -> bool:
+        if self._draining:
+            return False
+        live = len(self._workers)
+        outstanding = len(self._queue) + self._busy()
+        return live < self.n_workers and outstanding > live
+
+    def _busy(self) -> int:
+        return sum(1 for w in self._workers if w.job is not None)
+
+    # -- failure accounting --------------------------------------------
+
+    def _attempt_failed(self, job, kind: str, error: str, wall: float) -> None:
+        job.attempts += 1
+        if (
+            self._draining
+            or kind in NO_RETRY_KINDS
+            or not self.retry.should_retry(job.attempts)
+        ):
+            self.record_failed(job, error, wall, error_kind=kind)
+        else:
+            self.reporter.on_retry(job.index, job.attempts, error)
+            job.not_before = time.monotonic() + self.retry.delay_s(job.attempts)
+            self._queue.append(job)
+
+    def _cell_killed_worker(self, job, why: str, wall: float) -> None:
+        """A worker died (or stalled) with ``job`` in flight."""
+        kills = self._kills.get(job.key, 0) + 1
+        self._kills[job.key] = kills
+        job.worker_restarts += 1
+        if kills >= self.poison_threshold:
+            job.attempts += 1
+            self.reporter.note(
+                f"supervisor: cell {job.index} ({job.key}) killed "
+                f"{kills} worker(s); quarantining as poisoned"
+            )
+            self.record_failed(
+                job,
+                f"poisoned: cell killed {kills} worker(s); last: {why}",
+                wall,
+                error_kind=ERR_POISONED,
+            )
+        else:
+            self._attempt_failed(job, ERR_CRASH, why, wall)
+
+    def _handle_death(self, worker: _WorkerHandle) -> None:
+        self._discard(worker)
+        worker.proc.join(timeout=0.2)
+        exitcode = worker.proc.exitcode
+        job, worker.job = worker.job, None
+        if not worker.expected_death:
+            self.worker_restarts += 1
+            self.reporter.on_worker_restart(
+                worker.id,
+                f"worker {worker.id} died (exit {exitcode}) "
+                + (f"executing cell {job.index}" if job is not None else "idle"),
+            )
+            if job is not None:
+                wall = time.monotonic() - worker.dispatched_at
+                self._cell_killed_worker(
+                    job, f"worker died abruptly (exit {exitcode})", wall
+                )
+        if self._want_respawn():
+            self._spawn()
+
+    # -- dispatch / polling --------------------------------------------
+
+    def _dispatch(self, now: float) -> None:
+        if self._draining:
+            return
+        idle = [w for w in self._workers if w.job is None]
+        for worker in idle:
+            job = self._next_eligible(now)
+            if job is None:
+                return
+            self._next_seq += 1
+            job.seq = self._next_seq
+            try:
+                worker.conn.send(("run", job.seq, job.config))
+            except (OSError, ValueError):
+                # Dying worker: put the cell back; the sentinel path
+                # will account for the corpse and respawn.
+                self._queue.appendleft(job)
+                continue
+            worker.job = job
+            worker.dispatched_at = now
+            job.started = now
+
+    def _next_eligible(self, now: float):
+        """Next queued job not still backing off (rotates the rest)."""
+        for _ in range(len(self._queue)):
+            job = self._queue.popleft()
+            if job.not_before > now:
+                self._queue.append(job)
+                continue
+            return job
+        return None
+
+    def _poll_timeout(self, now: float) -> float:
+        deadline = now + 0.25
+        if self.timeout_s is not None:
+            for w in self._workers:
+                if w.job is not None:
+                    deadline = min(deadline, w.dispatched_at + self.timeout_s)
+        if self._queue and not self._busy():
+            backoff_wake = min(j.not_before for j in self._queue)
+            deadline = min(deadline, backoff_wake)
+        return max(0.01, deadline - now)
+
+    def _poll(self, timeout: float) -> None:
+        """Wait for worker messages or deaths and handle them."""
+        by_obj = {}
+        for w in self._workers:
+            by_obj[w.conn] = w
+            by_obj[w.proc.sentinel] = w
+        if not by_obj:
+            time.sleep(min(timeout, 0.05))
+            return
+        ready = mp_connection.wait(list(by_obj), timeout=timeout)
+        dead: List[_WorkerHandle] = []
+        for obj in ready:
+            worker = by_obj[obj]
+            if obj is worker.conn:
+                if not self._drain_messages(worker) and worker not in dead:
+                    dead.append(worker)
+            elif worker not in dead:
+                # Sentinel fired: pull any final messages first so a
+                # completed result is never misread as a crash.
+                self._drain_messages(worker)
+                dead.append(worker)
+        for worker in dead:
+            if worker in self._workers:
+                self._handle_death(worker)
+
+    def _drain_messages(self, worker: _WorkerHandle) -> bool:
+        """Handle every buffered message; False when the pipe hit EOF."""
+        while True:
+            try:
+                if not worker.conn.poll():
+                    return True
+                msg = worker.conn.recv()
+            except (EOFError, OSError):
+                return False
+            tag = msg[0]
+            worker.last_seen = time.monotonic()
+            if tag in ("hb", "ready"):
+                continue
+            if tag != "done":
+                continue
+            _, seq, kind, payload, wall = msg
+            job = worker.job
+            if job is None or job.seq != seq:
+                continue  # stale reply from a cell already accounted for
+            worker.job = None
+            worker.cells_done += 1
+            if kind == "ok":
+                self.record_ok(job, payload, wall)
+            else:
+                self._attempt_failed(job, kind, payload, wall)
+
+    def _enforce_deadlines(self) -> None:
+        now = time.monotonic()
+        for worker in list(self._workers):
+            job = worker.job
+            if job is not None and self.timeout_s is not None:
+                running_for = now - worker.dispatched_at
+                if running_for > self.timeout_s:
+                    worker.job = None
+                    job.worker_restarts += 1
+                    self.worker_restarts += 1
+                    self.reporter.on_worker_restart(
+                        worker.id,
+                        f"worker {worker.id} preempted: cell {job.index} "
+                        f"exceeded its {self.timeout_s}s budget",
+                    )
+                    self._kill(worker)
+                    self._discard(worker)
+                    self._attempt_failed(
+                        job, ERR_TIMEOUT,
+                        f"TimeoutError: cell exceeded {self.timeout_s}s",
+                        running_for,
+                    )
+                    if self._want_respawn():
+                        self._spawn()
+                    continue
+            if now - worker.last_seen > self.liveness_s and worker.proc.is_alive():
+                worker.job = None
+                self.worker_restarts += 1
+                self.reporter.on_worker_restart(
+                    worker.id,
+                    f"worker {worker.id} stalled: no heartbeat for "
+                    f"{now - worker.last_seen:.1f}s",
+                )
+                self._kill(worker)
+                self._discard(worker)
+                if job is not None:
+                    wall = now - worker.dispatched_at
+                    self._cell_killed_worker(
+                        job,
+                        f"worker stalled (no heartbeat for "
+                        f"{now - worker.last_seen:.1f}s)",
+                        wall,
+                    )
+                if self._want_respawn():
+                    self._spawn()
+
+    # -- the run -------------------------------------------------------
+
+    def run(self, pending: Deque) -> None:
+        """Execute every pending cell; returns when all are terminal.
+
+        Raises ``KeyboardInterrupt`` after a graceful drain when the
+        campaign is interrupted, mirroring the serial path's contract.
+        """
+        self._queue = pending
+        for _ in range(min(self.n_workers, len(pending))):
+            self._spawn()
+        try:
+            try:
+                self._loop()
+            except KeyboardInterrupt:
+                self._drain_interrupted()
+                raise
+        finally:
+            self._shutdown()
+
+    def _loop(self) -> None:
+        while self._queue or self._busy():
+            now = time.monotonic()
+            if not self._workers and (self._queue or self._busy()):
+                self._spawn()
+            self._dispatch(now)
+            self._poll(self._poll_timeout(now))
+            self._enforce_deadlines()
+
+    def _drain_interrupted(self) -> None:
+        """First Ctrl-C/SIGTERM: cancel the queue, drain executing cells."""
+        self._draining = True
+        self.reporter.note(
+            f"interrupt: cancelling {len(self._queue)} queued cell(s), "
+            f"draining {self._busy()} executing cell(s) — "
+            "Ctrl-C again to abort"
+        )
+        try:
+            while self._busy():
+                self._poll(0.2)
+                self._enforce_deadlines()
+        except KeyboardInterrupt:
+            now = time.monotonic()
+            for worker in list(self._workers):
+                job, worker.job = worker.job, None
+                if job is not None:
+                    self.record_interrupted(
+                        job, "interrupted while executing",
+                        now - worker.dispatched_at,
+                    )
+                    self._kill(worker)
+        for job in self._queue:
+            self.record_interrupted(job, "interrupted before start")
+        self._queue.clear()
+
+    def _shutdown(self) -> None:
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, ValueError):
+                continue
+        deadline = time.monotonic() + 2.0
+        for worker in self._workers:
+            worker.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.proc.is_alive():
+                self._kill(worker)
+                worker.proc.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                continue
+        self._workers.clear()
+
+
+def run_supervised(
+    pending: Deque,
+    fn: Callable[[Any], Any],
+    retry: RetryPolicy,
+    workers: int,
+    timeout_s: Optional[float],
+    max_rss_mb: Optional[float],
+    reporter,
+    record_ok,
+    record_failed,
+    record_interrupted,
+    *,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    poison_threshold: int = DEFAULT_POISON_THRESHOLD,
+) -> Supervisor:
+    """Run ``pending`` cells on a supervised worker fleet.
+
+    Returns the supervisor (its ``worker_restarts`` feeds the manifest).
+    """
+    supervisor = Supervisor(
+        fn,
+        workers=workers,
+        retry=retry,
+        reporter=reporter,
+        record_ok=record_ok,
+        record_failed=record_failed,
+        record_interrupted=record_interrupted,
+        timeout_s=timeout_s,
+        max_rss_mb=max_rss_mb,
+        heartbeat_s=heartbeat_s,
+        poison_threshold=poison_threshold,
+    )
+    supervisor.run(pending)
+    return supervisor
+
+
+# ``os`` is used by workers forked from us only through the signal
+# module; keep the import explicit for spawn-method pickling contexts.
+_ = os

@@ -50,6 +50,7 @@ def rule_ids(report):
 def test_registry_has_the_documented_rules():
     assert set(all_rule_ids()) >= {
         "DET001", "DET002", "DET003", "DET004", "KEY001", "TRC001", "IMP001",
+        "ERR001",
     }
     for rule in RULES.values():
         assert rule.summary
@@ -675,6 +676,73 @@ def test_imp001_skips_init_reexports_and_future(tmp_path):
         "pkg/mod.py": "from __future__ import annotations\n\nthing = 1\n",
     }, rules=["IMP001"])
     assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# ERR001 — swallowed exceptions
+
+
+def test_err001_fires_on_bare_except_and_broad_pass(tmp_path):
+    report = lint_tree(tmp_path, {
+        "parallel/runtime.py": """\
+            def f():
+                try:
+                    risky()
+                except:
+                    cleanup()
+                try:
+                    risky()
+                except Exception:
+                    pass
+                try:
+                    risky()
+                except (ValueError, BaseException):
+                    ...
+            """,
+    }, rules=["ERR001"])
+    assert rule_ids(report) == ["ERR001", "ERR001", "ERR001"]
+    assert all(f.severity == SEV_ERROR for f in report.findings)
+
+
+def test_err001_clean_on_specific_and_handled_exceptions(tmp_path):
+    report = lint_tree(tmp_path, {
+        "parallel/runtime.py": """\
+            def f(log):
+                try:
+                    risky()
+                except OSError:
+                    pass
+                try:
+                    risky()
+                except Exception as exc:
+                    log.warning("cell failed: %s", exc)
+                    raise
+                try:
+                    risky()
+                except Exception:
+                    return None
+            """,
+    }, rules=["ERR001"])
+    assert report.findings == []
+
+
+def test_err001_pragma_suppresses(tmp_path):
+    report = lint_tree(tmp_path, {
+        "parallel/runtime.py": """\
+            def f():
+                try:
+                    risky()
+                # last-ditch teardown guard:
+                except Exception:  # simlint: disable=ERR001
+                    pass
+            """,
+    }, rules=["ERR001"])
+    assert report.findings == []
+
+
+def test_err001_shipped_tree_is_clean():
+    report = run_lint([str(SRC / "repro")], rules=["ERR001"])
+    assert report.findings == [], report.format()
 
 
 # ---------------------------------------------------------------------------
