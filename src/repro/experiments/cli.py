@@ -17,6 +17,7 @@ Examples::
     ibcc-repro arena --quick                    # cross-mechanism matrix
     ibcc-repro store gc .ibcc-cache --purge     # drop quarantine sidecars
     ibcc-repro lint src/                        # simlint static analysis
+    ibcc-repro serve --store .ibcc-cache --jobs 4   # campaign daemon
     python -m repro table2 --scale paper        # full 648-node run
 """
 
@@ -408,6 +409,10 @@ def main(argv=None) -> int:
         from repro.lint.cli import lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     scale = SCALES[args.scale]
     if args.scheduler is not None:

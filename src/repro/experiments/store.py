@@ -5,6 +5,13 @@ lets drivers cache results keyed by their full configuration and reload
 them across sessions — e.g. to assemble EXPERIMENTS.md incrementally or
 to re-plot without re-simulating.
 
+Layout: entries fan out into two-hex-character shard subdirectories
+(``ab/abcd….json``) so a store serving many concurrent campaigns (the
+``repro serve`` daemon) never accumulates tens of thousands of entries
+in one directory. Stores written before sharding existed used a flat
+layout; reads fall through to the flat path transparently, while every
+new write lands sharded.
+
 Crash safety: every write goes to a temporary file in the same
 directory and is moved into place with ``os.replace`` — a killed
 process can never leave a truncated JSON file under a result key. If a
@@ -20,6 +27,7 @@ import hashlib
 import json
 import logging
 import os
+import threading
 from typing import Optional
 
 from repro.cc.config import cc_config_from_dict, cc_config_to_dict
@@ -33,13 +41,26 @@ _log = logging.getLogger(__name__)
 
 
 def atomic_write_json(path: str, data) -> None:
-    """Write JSON to ``path`` atomically (tmp file + ``os.replace``)."""
-    tmp = path + ".tmp"
-    with open(tmp, "w") as fh:
-        json.dump(data, fh)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
+    """Write JSON to ``path`` atomically (tmp file + ``os.replace``).
+
+    The temporary file name is unique per writer (pid + thread id), so
+    concurrent writers of the same path never clobber each other's
+    in-progress bytes: each finishes its own complete temp file and the
+    replaces serialize to last-writer-wins on the final path.
+    """
+    tmp = f"{path}.{os.getpid()}.{threading.get_ident()}.tmp"
+    try:
+        with open(tmp, "w") as fh:
+            json.dump(data, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - only on write failure
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass  # best-effort cleanup of an orphaned temp file
 
 
 def quarantine(path: str) -> str:
@@ -131,9 +152,16 @@ def result_to_dict(res: ExperimentResult) -> dict:
     }
 
 
-def result_from_dict(data: dict) -> ExperimentResult:
-    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict` data."""
-    cfg_data = dict(data["config"])
+def config_from_dict(data: dict) -> ExperimentConfig:
+    """Rebuild an :class:`ExperimentConfig` from :func:`config_to_dict` data.
+
+    The inverse of :func:`config_to_dict`; also the wire codec the
+    ``repro serve`` daemon uses to parse submitted campaign cells.
+    Raises ``KeyError``/``TypeError``/``ValueError`` on malformed input
+    (missing scale, unknown fields, wrong types) — callers that accept
+    untrusted payloads turn those into structured errors.
+    """
+    cfg_data = dict(data)
     scale = ScaleProfile(**{
         k: tuple(v) if k == "moving_lifetimes_ns" else v
         for k, v in cfg_data.pop("scale").items()
@@ -142,7 +170,7 @@ def result_from_dict(data: dict) -> ExperimentResult:
     faults = faults_from_dict(cfg_data.pop("faults", None))
     transport = transport_from_dict(cfg_data.pop("transport", None))
     cc_config = cc_config_from_dict(cfg_data.pop("cc_config", None))
-    cfg = ExperimentConfig(
+    return ExperimentConfig(
         scale=scale,
         cc_params=CCParams(**cc_params) if cc_params else None,
         faults=faults,
@@ -150,6 +178,11 @@ def result_from_dict(data: dict) -> ExperimentResult:
         cc_config=cc_config,
         **cfg_data,
     )
+
+
+def result_from_dict(data: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict` data."""
+    cfg = config_from_dict(data["config"])
     return ExperimentResult(
         config=cfg,
         rates_gbps=list(data["rates_gbps"]),
@@ -183,28 +216,69 @@ def result_from_dict(data: dict) -> ExperimentResult:
 
 
 class ResultStore:
-    """A directory of JSON result files keyed by configuration hash."""
+    """A sharded directory of JSON result files keyed by config hash.
+
+    Entries live at ``<directory>/<key[:2]>/<key>.json`` — 256 fan-out
+    shards keep per-directory entry counts civilized under multi-tenant
+    serving load. Stores written before sharding existed kept every
+    entry flat in ``<directory>``; :meth:`load` and ``in`` fall back to
+    that legacy path transparently, so old caches keep hitting without
+    a migration step. New writes always land sharded.
+
+    Concurrent writers are safe. :meth:`save` goes through a unique
+    temporary file and a single atomic ``os.replace``, so two processes
+    saving the *same* key race to last-writer-wins: whichever
+    ``os.replace`` lands second determines the final bytes, and readers
+    observe one complete version or the other — never a torn mix. Since
+    results are pure functions of their config (the key hashes the full
+    config), both writers carry equivalent payloads and the race is
+    benign by construction.
+    """
 
     def __init__(self, directory: str) -> None:
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
 
     def _path(self, cfg: ExperimentConfig) -> str:
-        return os.path.join(self.directory, f"{config_key(cfg)}.json")
+        """The sharded path every new write lands at."""
+        return self.path_for_key(config_key(cfg))
+
+    def path_for_key(self, key: str) -> str:
+        """Sharded entry path for an already-computed config key."""
+        return os.path.join(self.directory, key[:2], f"{key}.json")
+
+    def _legacy_path(self, key: str) -> str:
+        """Where a pre-sharding (flat-layout) store kept this key."""
+        return os.path.join(self.directory, f"{key}.json")
+
+    def _existing_path(self, key: str) -> Optional[str]:
+        """The on-disk path holding ``key`` (sharded wins), or None."""
+        for path in (self.path_for_key(key), self._legacy_path(key)):
+            if os.path.exists(path):
+                return path
+        return None
 
     def save(self, res: ExperimentResult) -> str:
-        """Write the result's JSON file atomically; returns its path."""
+        """Write the result's JSON file atomically; returns its path.
+
+        Same-key concurrency is last-writer-wins (see the class
+        docstring); the write itself can never be observed truncated.
+        """
         path = self._path(res.config)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
         atomic_write_json(path, result_to_dict(res))
         return path
 
     def load(self, cfg: ExperimentConfig) -> Optional[ExperimentResult]:
         """Load the cached result for ``cfg``, or None if absent.
 
-        A corrupt entry is quarantined and treated as a miss rather
-        than poisoning the whole campaign.
+        Reads through the sharded layout first, then the legacy flat
+        layout. A corrupt entry is quarantined and treated as a miss
+        rather than poisoning the whole campaign.
         """
-        path = self._path(cfg)
+        path = self._existing_path(config_key(cfg))
+        if path is None:
+            return None
         data = load_json_or_quarantine(path)
         if data is None:
             return None
@@ -220,7 +294,11 @@ class ResultStore:
 
     def __contains__(self, cfg: ExperimentConfig) -> bool:
         """Whether a result for ``cfg`` is already stored."""
-        return os.path.exists(self._path(cfg))
+        return self._existing_path(config_key(cfg)) is not None
+
+    def contains_key(self, key: str) -> bool:
+        """Whether an entry for an already-computed key is stored."""
+        return self._existing_path(key) is not None
 
     def get_or_run(self, cfg: ExperimentConfig) -> ExperimentResult:
         """Load a cached result or simulate and cache it."""
@@ -233,8 +311,32 @@ class ResultStore:
         self.save(res)
         return res
 
+    def keys(self) -> list:
+        """Every stored config key (sharded and legacy), sorted."""
+        out = set()
+        for _root, name in _walk_suffix(self.directory, ".json"):
+            out.add(name[:-len(".json")])
+        return sorted(out)
+
     def __len__(self) -> int:
-        return sum(1 for f in os.listdir(self.directory) if f.endswith(".json"))
+        """Entry count across shard subdirectories and the flat legacy
+        layout (a key present in both counts once)."""
+        return len(self.keys())
+
+
+def _walk_suffix(directory: str, suffix: str):
+    """Yield ``(dirpath, filename)`` for matching files at any depth.
+
+    The recursive scan behind :meth:`ResultStore.__len__`,
+    :func:`find_quarantined` and :func:`purge_quarantined` — entries
+    (and their ``.corrupt`` sidecars) may sit in shard subdirectories
+    or flat at the top level.
+    """
+    for root, dirs, names in os.walk(directory):
+        dirs.sort()
+        for name in sorted(names):
+            if name.endswith(suffix):
+                yield root, name
 
 
 def find_quarantined(directory: str) -> list:
@@ -243,11 +345,11 @@ def find_quarantined(directory: str) -> list:
     These are corrupt cache entries moved aside by
     :func:`load_json_or_quarantine` / :meth:`ResultStore.load` and
     preserved for inspection; ``repro store gc`` lists and purges them.
+    Recurses into the sharded subdirectories as well as the top level.
     """
     return sorted(
-        os.path.join(directory, name)
-        for name in os.listdir(directory)
-        if name.endswith(".corrupt")
+        os.path.join(root, name)
+        for root, name in _walk_suffix(directory, ".corrupt")
     )
 
 

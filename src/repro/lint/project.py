@@ -43,6 +43,9 @@ class LintConfig:
     #: ``(package, module)`` files allowed to construct raw generators —
     #: the enforced randomness contract lives here.
     rng_blessed: FrozenSet[Tuple[str, str]] = frozenset({("engine", "rng")})
+    #: Packages holding asyncio service code, where a dropped
+    #: ``create_task`` handle means silent task loss (ERR002).
+    async_packages: FrozenSet[str] = frozenset({"serve"})
 
 
 DEFAULT_CONFIG = LintConfig()
@@ -96,6 +99,9 @@ class Project:
 
     def float_sum_scope(self, f: SourceFile) -> bool:
         return f.in_package(self.config.float_sum_packages)
+
+    def async_scope(self, f: SourceFile) -> bool:
+        return f.in_package(self.config.async_packages)
 
     def rng_blessed(self, f: SourceFile) -> bool:
         for pkg, mod in self.config.rng_blessed:

@@ -1,4 +1,4 @@
-"""Robustness rules: ERR001.
+"""Robustness rules: ERR001, ERR002.
 
 The supervised campaign runtime (:mod:`repro.parallel.supervisor`)
 guarantees that every failure surfaces as structured data — a manifest
@@ -17,6 +17,14 @@ re-raise) is fine; catching a specific exception and ignoring it
 (``except OSError: pass``) is a deliberate, reviewable decision and is
 fine too. Justified exceptions to the rule carry a
 ``# simlint: disable=ERR001`` pragma with a comment saying why.
+
+ERR002 guards the asyncio service packages (``serve``): an
+``asyncio.create_task(...)`` whose returned handle is immediately
+dropped is a fire-and-forget task — the event loop holds only a weak
+reference, so the task can be garbage-collected mid-flight, and any
+exception it raises is reported nowhere. Handles must be stored,
+awaited, or otherwise consumed; deliberate fire-and-forget carries a
+``# simlint: disable=ERR002`` pragma.
 """
 
 from __future__ import annotations
@@ -101,4 +109,54 @@ def err001_swallowed_exceptions(project: Project) -> Iterator[Finding]:
                     "broad exception handler silently swallows the error; "
                     "handle it, record it as data, or catch something "
                     "specific",
+                )
+
+
+def _is_create_task(call: ast.Call) -> bool:
+    """Whether a call is ``asyncio.create_task`` / ``create_task``.
+
+    Also matches ``loop.create_task`` / ``ensure_future`` spellings —
+    every way of launching a task whose handle could be dropped.
+    """
+    fn = call.func
+    if isinstance(fn, ast.Name):
+        return fn.id in ("create_task", "ensure_future")
+    if isinstance(fn, ast.Attribute):
+        return fn.attr in ("create_task", "ensure_future")
+    return False
+
+
+@rule(
+    "ERR002",
+    severity=SEV_ERROR,
+    summary=(
+        "asyncio.create_task(...) whose returned handle is dropped — the "
+        "loop keeps only a weak reference, so the task can be collected "
+        "mid-flight and its exceptions vanish"
+    ),
+)
+def err002_dropped_task_handle(project: Project) -> Iterator[Finding]:
+    """No fire-and-forget tasks in the asyncio service packages.
+
+    A ``create_task`` call used as a bare expression statement discards
+    the only strong reference to the task. Store the handle, await it,
+    or pass it into a collection; deliberate fire-and-forget needs a
+    ``# simlint: disable=ERR002`` pragma explaining why task loss and
+    silent exceptions are acceptable there.
+    """
+    for f in project.files:
+        if not project.async_scope(f):
+            continue
+        for node in ast.walk(f.tree):
+            if (
+                isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)
+                and _is_create_task(node.value)
+            ):
+                yield Finding(
+                    "ERR002", SEV_ERROR, f.path, node.lineno,
+                    node.col_offset,
+                    "task handle dropped: keep a reference to the task "
+                    "(assign it, add it to a set, or await it) so it "
+                    "cannot be garbage-collected mid-flight",
                 )

@@ -1,0 +1,112 @@
+"""``ibcc-repro serve`` — run the campaign daemon.
+
+Examples::
+
+    ibcc-repro serve --store .ibcc-cache --jobs 4
+    ibcc-repro serve --store /var/lib/ibcc --jobs 8 --port 8642 \\
+        --timeout-s 900 --max-rss-mb 2048 --max-queued 1024
+    ibcc-repro serve --store .ibcc-cache --jobs 2 --port 0 \\
+        --ready-file /tmp/serve.ready       # tests: ephemeral port
+
+The daemon serves the HTTP/JSON API documented in
+:mod:`repro.serve.app`; SIGTERM drains gracefully and a restart
+replays campaign manifests (completed keys are never re-simulated).
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+from typing import List, Optional
+
+from repro.parallel.retry import RetryPolicy
+from repro.serve.app import ServeApp, run_app
+from repro.serve.scheduler import AdmissionLimits
+from repro.serve.service import CampaignService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ibcc-repro serve",
+        description="Crash-safe multi-tenant campaign daemon.",
+    )
+    parser.add_argument(
+        "--store", required=True,
+        help="result store directory (shared cache + serve/ state)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes executing cells (default 2)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port (0 = ephemeral; see --ready-file)",
+    )
+    parser.add_argument(
+        "--ready-file",
+        help="write 'host port' here once listening (for test harnesses)",
+    )
+    parser.add_argument(
+        "--timeout-s", type=float, default=None,
+        help="per-cell wall-clock budget (taxonomy kind 'timeout')",
+    )
+    parser.add_argument(
+        "--max-rss-mb", type=float, default=None,
+        help="per-worker RSS budget via RLIMIT_AS (taxonomy kind 'oom')",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=3,
+        help="max attempts per cell for retryable failures (default 3)",
+    )
+    parser.add_argument("--max-queued", type=int, default=512)
+    parser.add_argument("--max-tenant-queued", type=int, default=256)
+    parser.add_argument("--max-inflight", type=int, default=2048)
+    parser.add_argument("--max-campaign-cells", type=int, default=4096)
+    parser.add_argument(
+        "--drain-timeout-s", type=float, default=30.0,
+        help="seconds executing cells get to finish on SIGTERM",
+    )
+    parser.add_argument("--log-level", default="INFO")
+    parser.add_argument(
+        "--log-file", help="log here instead of stderr",
+    )
+    return parser
+
+
+def build_service(args: argparse.Namespace) -> CampaignService:
+    limits = AdmissionLimits(
+        max_queued=args.max_queued,
+        max_tenant_queued=args.max_tenant_queued,
+        max_inflight=args.max_inflight,
+        max_campaign_cells=args.max_campaign_cells,
+    )
+    return CampaignService(
+        args.store,
+        workers=args.jobs,
+        limits=limits,
+        retry=RetryPolicy(max_attempts=max(1, args.retries), backoff_s=0.5),
+        timeout_s=args.timeout_s,
+        max_rss_mb=args.max_rss_mb,
+        drain_timeout_s=args.drain_timeout_s,
+    )
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper(), logging.INFO),
+        filename=args.log_file,
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+    )
+    run_app(
+        build_service(args),
+        host=args.host,
+        port=args.port,
+        ready_file=args.ready_file,
+    )
+    return 0
+
+
+# Re-exported for embedding (tests run the app inside their own loop).
+__all__ = ["build_parser", "build_service", "serve_main", "ServeApp"]

@@ -1,0 +1,185 @@
+"""Synchronous client for the campaign daemon (tests, load-gen, CI).
+
+Deliberately stdlib-only (``http.client`` + a raw socket for SSE) so
+the same client runs inside the repo's test suite, the CI smoke job
+and ad-hoc shells with no extra dependencies. Every call opens a fresh
+connection — the daemon is ``Connection: close`` by design.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class ApiResponse:
+    """One HTTP exchange's outcome."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        return json.loads(self.body) if self.body else None
+
+    @property
+    def retry_after_s(self) -> Optional[int]:
+        value = self.headers.get("retry-after")
+        return int(value) if value is not None else None
+
+
+class ServeError(RuntimeError):
+    """An API call returned an unexpected status."""
+
+    def __init__(self, response: ApiResponse, context: str) -> None:
+        self.response = response
+        super().__init__(
+            f"{context}: HTTP {response.status} "
+            f"{response.body[:500].decode(errors='replace')}"
+        )
+
+
+class ServeClient:
+    """Talks to one ``repro serve`` daemon."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------
+
+    def request(
+        self, method: str, path: str, payload: Any = None
+    ) -> ApiResponse:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return ApiResponse(
+                status=response.status,
+                headers={k.lower(): v for k, v in response.getheaders()},
+                body=response.read(),
+            )
+        finally:
+            conn.close()
+
+    def _expect(
+        self, method: str, path: str, payload: Any, statuses: Tuple[int, ...]
+    ) -> ApiResponse:
+        response = self.request(method, path, payload)
+        if response.status not in statuses:
+            raise ServeError(response, f"{method} {path}")
+        return response
+
+    # -- API surface ---------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._expect("GET", "/v1/healthz", None, (200,)).json()
+
+    def stats(self) -> dict:
+        return self._expect("GET", "/v1/stats", None, (200,)).json()
+
+    def submit(
+        self,
+        cells: List[dict],
+        *,
+        tenant: str = "default",
+        priority: int = 10,
+    ) -> ApiResponse:
+        """Submit a campaign; returns the raw response (202/400/429/503
+        are all legitimate outcomes callers branch on)."""
+        return self.request("POST", "/v1/campaigns", {
+            "cells": cells, "tenant": tenant, "priority": priority,
+        })
+
+    def campaign(self, campaign_id: str) -> dict:
+        return self._expect(
+            "GET", f"/v1/campaigns/{campaign_id}", None, (200,)
+        ).json()
+
+    def cancel(self, campaign_id: str) -> dict:
+        return self._expect(
+            "POST", f"/v1/campaigns/{campaign_id}/cancel", None, (200,)
+        ).json()
+
+    def result_bytes(self, key: str) -> bytes:
+        return self._expect("GET", f"/v1/results/{key}", None, (200,)).body
+
+    def wait(
+        self,
+        campaign_id: str,
+        *,
+        timeout_s: float = 120.0,
+        poll_s: float = 0.1,
+    ) -> dict:
+        """Poll until the campaign is done; returns its final state."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            state = self.campaign(campaign_id)
+            if state["done"]:
+                return state
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"campaign {campaign_id} not done after {timeout_s}s: "
+                    f"{state['counts']}"
+                )
+            time.sleep(poll_s)
+
+    def events(
+        self,
+        campaign_id: str,
+        *,
+        max_events: Optional[int] = None,
+        timeout_s: float = 30.0,
+    ) -> List[Tuple[str, Any]]:
+        """Consume the SSE stream until the campaign finishes.
+
+        Returns ``(event name, payload)`` pairs; stops at ``max_events``,
+        at a terminal ``campaign``/``drain`` event, or at the socket
+        timeout (returning whatever arrived by then).
+        """
+        out: List[Tuple[str, Any]] = []
+        with socket.create_connection(
+            (self.host, self.port), timeout=timeout_s
+        ) as sock:
+            sock.sendall(
+                f"GET /v1/campaigns/{campaign_id}/events HTTP/1.1\r\n"
+                f"Host: {self.host}\r\n\r\n".encode()
+            )
+            fh = sock.makefile("rb")
+            while True:  # skip the response head
+                line = fh.readline()
+                if line in (b"\r\n", b""):
+                    break
+            name = None
+            try:
+                for raw in fh:
+                    line = raw.decode().strip()
+                    if line.startswith("event:"):
+                        name = line.partition(":")[2].strip()
+                    elif line.startswith("data:") and name is not None:
+                        payload = json.loads(line.partition(":")[2])
+                        out.append((name, payload))
+                        if name == "drain":
+                            break
+                        if name == "campaign" and payload.get("done"):
+                            break
+                        if max_events is not None and len(out) >= max_events:
+                            break
+                        name = None
+            except socket.timeout:
+                pass  # return what we have; callers assert on content
+        return out

@@ -1,0 +1,236 @@
+"""Synthetic load driver for the campaign daemon.
+
+Drives a running ``repro serve`` with a thundering-herd workload from
+many concurrent submitter threads — a configurable fraction submit the
+*same* config (exercising single-flight dedup), the rest submit unique
+configs (exercising fan-out and fair queueing across tenants), and a
+few submissions are deliberately invalid (exercising the structured
+400 path). It then waits for every accepted campaign to finish and
+reports a machine-readable summary: throughput, dedup hit rate, shed
+count, and whether the single-flight invariant held (the daemon's
+``simulations_started`` ledger must not exceed the number of unique
+configs submitted).
+
+Used three ways: the CI ``serve-smoke`` job (``--check`` exits
+non-zero when an invariant fails), the measured numbers quoted in
+EXPERIMENTS.md, and ad-hoc stress runs::
+
+    python -m repro.serve.loadgen --host 127.0.0.1 --port 8642 \\
+        --submissions 200 --submitters 32 --dup-fraction 0.5 --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from typing import List, Optional
+
+from repro.serve.client import ServeClient
+
+#: A deliberately tiny scale profile so load tests measure the daemon,
+#: not the simulator. (radix-4 fat-tree, sub-millisecond sim windows.)
+MICRO_SCALE = {
+    "name": "loadgen-micro",
+    "radix": 4,
+    "n_hotspots": 2,
+    "sim_time_ns": 6e5,
+    "warmup_ns": 2e5,
+    "cct_slope": 0.5,
+    "moving_sim_time_ns": 4e5,
+    "moving_lifetimes_ns": [2e5],
+    "marking_rate": 3,
+}
+
+
+def micro_cell(seed: int = 3, **overrides) -> dict:
+    """A minimal valid cell config for load generation."""
+    cell = {
+        "scale": dict(MICRO_SCALE),
+        "seed": seed,
+        "sim_time_ns": 6e5,
+        "warmup_ns": 2e5,
+    }
+    cell.update(overrides)
+    return cell
+
+
+INVALID_CELL = {"scale": dict(MICRO_SCALE), "seed": 3, "p": 7.5}
+
+
+def run_load(
+    host: str,
+    port: int,
+    *,
+    submissions: int = 200,
+    submitters: int = 32,
+    dup_fraction: float = 0.5,
+    invalid: int = 1,
+    tenants: int = 4,
+    wait_timeout_s: float = 600.0,
+) -> dict:
+    """Fire the workload; returns the summary report dict."""
+    client = ServeClient(host, port, timeout_s=wait_timeout_s)
+    base_sims = client.stats()["simulations_started"]
+
+    # Build the submission plan up front so threads just pop work.
+    # Duplicate submissions all carry seed=1000; unique ones get a
+    # distinct seed each, i.e. a distinct config key.
+    plan: List[dict] = []
+    n_dup = int(submissions * dup_fraction)
+    for i in range(submissions):
+        if i < n_dup:
+            cells = [micro_cell(seed=1000)]
+        else:
+            cells = [micro_cell(seed=2000 + i)]
+        plan.append({
+            "cells": cells,
+            "tenant": f"tenant-{i % max(1, tenants)}",
+        })
+    for _ in range(invalid):
+        plan.append({"cells": [dict(INVALID_CELL)], "tenant": "tenant-bad"})
+    unique_keys = 1 + (submissions - n_dup)  # dup config + unique configs
+
+    lock = threading.Lock()
+    accepted: List[str] = []
+    shed = 0
+    rejected_400 = 0
+    errors: List[str] = []
+    cursor = [0]
+
+    def submitter() -> None:
+        nonlocal shed, rejected_400
+        while True:
+            with lock:
+                if cursor[0] >= len(plan):
+                    return
+                item = plan[cursor[0]]
+                cursor[0] += 1
+            try:
+                response = client.submit(
+                    item["cells"], tenant=item["tenant"]
+                )
+            except Exception as exc:
+                with lock:
+                    errors.append(f"submit raised {exc!r}")
+                continue
+            with lock:
+                if response.status == 202:
+                    accepted.append(response.json()["id"])
+                elif response.status == 429:
+                    shed += 1
+                    if response.retry_after_s is None:
+                        errors.append("429 without Retry-After")
+                elif response.status == 400:
+                    rejected_400 += 1
+                    if "problems" not in (response.json() or {}):
+                        errors.append("400 without a problems list")
+                else:
+                    errors.append(f"unexpected status {response.status}")
+
+    started = time.monotonic()
+    threads = [
+        threading.Thread(target=submitter, name=f"loadgen-{i}")
+        for i in range(submitters)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    submit_elapsed = time.monotonic() - started
+
+    deadline = time.monotonic() + wait_timeout_s
+    unfinished = list(accepted)
+    while unfinished and time.monotonic() < deadline:
+        unfinished = [
+            cid for cid in unfinished if not client.campaign(cid)["done"]
+        ]
+        if unfinished:
+            time.sleep(0.2)
+    total_elapsed = time.monotonic() - started
+
+    stats = client.stats()
+    sims = stats["simulations_started"] - base_sims
+    cells_total = sum(len(item["cells"]) for item in plan[:submissions])
+    dedup_hits = stats["dedup_joins"] + stats["cache_hits"]
+    report = {
+        "submissions": submissions,
+        "invalid_submissions": invalid,
+        "submitters": submitters,
+        "accepted": len(accepted),
+        "shed_429": shed,
+        "rejected_400": rejected_400,
+        "unfinished": len(unfinished),
+        "cells_submitted": cells_total,
+        "unique_configs": unique_keys,
+        "simulations_started": sims,
+        "dedup_hits": dedup_hits,
+        "dedup_hit_rate": (
+            round(dedup_hits / max(1, cells_total), 4)
+        ),
+        "submit_wall_s": round(submit_elapsed, 3),
+        "total_wall_s": round(total_elapsed, 3),
+        "throughput_cells_per_s": round(
+            len(accepted) / max(total_elapsed, 1e-9), 2
+        ),
+        "daemon_stats": stats,
+        "errors": errors[:20],
+        "checks": {
+            # The single-flight invariant: with shed submissions some
+            # unique configs may never have been admitted, so <= is the
+            # bound — strictly more sims than unique configs means a
+            # duplicate actually ran.
+            "single_flight": sims <= unique_keys,
+            "invalid_rejected": rejected_400 == invalid,
+            "all_finished": not unfinished,
+            "no_client_errors": not errors,
+        },
+    }
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="Synthetic thundering-herd load for repro serve.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--submissions", type=int, default=200)
+    parser.add_argument("--submitters", type=int, default=32)
+    parser.add_argument("--dup-fraction", type=float, default=0.5)
+    parser.add_argument("--invalid", type=int, default=1)
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--wait-timeout-s", type=float, default=600.0)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless every invariant check passed",
+    )
+    parser.add_argument("--out", help="also write the JSON report to PATH")
+    args = parser.parse_args(argv)
+
+    report = run_load(
+        args.host, args.port,
+        submissions=args.submissions,
+        submitters=args.submitters,
+        dup_fraction=args.dup_fraction,
+        invalid=args.invalid,
+        tenants=args.tenants,
+        wait_timeout_s=args.wait_timeout_s,
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    if args.check and not all(report["checks"].values()):
+        failed = [k for k, v in report["checks"].items() if not v]
+        print(f"loadgen checks FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,182 @@
+"""Per-tenant fair queueing and admission control for the daemon.
+
+**Fairness.** Each tenant owns a priority queue of still-queued
+flights; dispatch slots rotate round-robin across tenants that have
+work, so a tenant that dumps a thousand-cell campaign cannot starve a
+tenant submitting single cells. Within one tenant, flights order by
+``(priority, submission seq)`` — priority 0 is most urgent, ties run
+in submission order.
+
+**Admission.** The daemon sheds load *at the door* instead of letting
+the backlog grow unboundedly: a submission that would push the queue
+past ``max_queued``, the total unfinished-cell budget past
+``max_inflight``, or one tenant's backlog past ``max_tenant_queued``
+is rejected with HTTP 429 and a ``Retry-After`` estimate derived from
+the observed service rate (queued work ÷ workers × average cell wall
+time). Clients that honor Retry-After converge on the daemon's actual
+throughput.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.singleflight import FLIGHT_QUEUED, Flight
+
+
+class FairScheduler:
+    """Round-robin across tenants, ``(priority, seq)`` within a tenant.
+
+    Cancelled flights are lazily skipped at pop time (cheap removal
+    without heap surgery).
+    """
+
+    def __init__(self) -> None:
+        #: tenant -> heap of (priority, seq, Flight); OrderedDict keeps
+        #: the round-robin rotation deterministic.
+        self._queues: OrderedDict[str, List[Tuple[int, int, Flight]]] = (
+            OrderedDict()
+        )
+
+    def push(self, flight: Flight) -> None:
+        heap = self._queues.get(flight.tenant)
+        if heap is None:
+            heap = []
+            self._queues[flight.tenant] = heap
+        heapq.heappush(heap, (flight.priority, flight.seq, flight))
+
+    def pop(self) -> Optional[Flight]:
+        """The next runnable flight under fair rotation, or None."""
+        for tenant in list(self._queues):
+            heap = self._queues[tenant]
+            flight = None
+            while heap:
+                _, _, candidate = heapq.heappop(heap)
+                if candidate.state == FLIGHT_QUEUED:
+                    flight = candidate
+                    break
+            if not heap:
+                del self._queues[tenant]
+            if flight is not None:
+                if tenant in self._queues:
+                    # Rotate: this tenant goes to the back of the ring.
+                    self._queues.move_to_end(tenant)
+                return flight
+        return None
+
+    def clear(self) -> List[Flight]:
+        """Drop every queued flight (daemon drain); returns them."""
+        dropped = []
+        for heap in self._queues.values():
+            dropped.extend(
+                f for _, _, f in heap if f.state == FLIGHT_QUEUED
+            )
+        self._queues.clear()
+        return dropped
+
+    def __len__(self) -> int:
+        return sum(
+            1
+            for heap in self._queues.values()
+            for _, _, f in heap
+            if f.state == FLIGHT_QUEUED
+        )
+
+    def queued_for(self, tenant: str) -> int:
+        return sum(
+            1
+            for _, _, f in self._queues.get(tenant, [])
+            if f.state == FLIGHT_QUEUED
+        )
+
+    def tenants(self) -> List[str]:
+        return [t for t in self._queues if self.queued_for(t)]
+
+
+@dataclass
+class AdmissionLimits:
+    """The daemon's load-shedding knobs (CLI ``--max-*`` flags)."""
+
+    #: Queued-flight ceiling across all tenants.
+    max_queued: int = 512
+    #: One tenant's queued-flight ceiling.
+    max_tenant_queued: int = 256
+    #: Total unfinished admitted cells (queued + executing).
+    max_inflight: int = 2048
+    #: Cells a single campaign may carry.
+    max_campaign_cells: int = 4096
+
+
+class ShedLoad(Exception):
+    """The admission controller refused a submission (HTTP 429)."""
+
+    def __init__(self, reason: str, retry_after_s: int) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionController:
+    """Decides, per submission, whether the daemon takes the work."""
+
+    def __init__(self, limits: AdmissionLimits, workers: int) -> None:
+        self.limits = limits
+        self.workers = max(1, workers)
+        #: EWMA of completed-cell wall seconds, seeding the Retry-After
+        #: estimate before any cell has finished.
+        self._avg_wall_s = 1.0
+        self.shed_count = 0
+        self.shed_by_reason: Dict[str, int] = {}
+
+    def observe_wall(self, wall_s: float) -> None:
+        """Fold one completed cell's wall time into the service rate."""
+        if wall_s > 0:
+            self._avg_wall_s += 0.2 * (wall_s - self._avg_wall_s)
+
+    def retry_after_s(self, backlog: int) -> int:
+        """Seconds until ~half the current backlog should have drained."""
+        est = backlog * self._avg_wall_s / (2.0 * self.workers)
+        return max(1, min(600, math.ceil(est)))
+
+    def admit(
+        self,
+        *,
+        tenant: str,
+        new_flights: int,
+        queued: int,
+        tenant_queued: int,
+        inflight_cells: int,
+    ) -> None:
+        """Raise :class:`ShedLoad` if the submission must be shed."""
+        limits = self.limits
+        backlog = queued + inflight_cells
+        if queued + new_flights > limits.max_queued:
+            self._shed("queue_full")
+            raise ShedLoad(
+                f"queue depth {queued} + {new_flights} new cell(s) exceeds "
+                f"max_queued={limits.max_queued}",
+                self.retry_after_s(backlog),
+            )
+        if tenant_queued + new_flights > limits.max_tenant_queued:
+            self._shed("tenant_quota")
+            raise ShedLoad(
+                f"tenant {tenant!r} backlog {tenant_queued} + {new_flights} "
+                f"exceeds max_tenant_queued={limits.max_tenant_queued}",
+                self.retry_after_s(tenant_queued),
+            )
+        if inflight_cells + queued + new_flights > limits.max_inflight:
+            self._shed("inflight_budget")
+            raise ShedLoad(
+                f"in-flight budget exhausted: {inflight_cells} executing + "
+                f"{queued} queued + {new_flights} new exceeds "
+                f"max_inflight={limits.max_inflight}",
+                self.retry_after_s(backlog),
+            )
+
+    def _shed(self, reason: str) -> None:
+        self.shed_count += 1
+        self.shed_by_reason[reason] = self.shed_by_reason.get(reason, 0) + 1

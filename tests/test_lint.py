@@ -746,6 +746,72 @@ def test_err001_shipped_tree_is_clean():
 
 
 # ---------------------------------------------------------------------------
+# ERR002 — dropped asyncio task handles (serve packages)
+
+
+def test_err002_fires_on_dropped_create_task(tmp_path):
+    report = lint_tree(tmp_path, {
+        "serve/app.py": """\
+            import asyncio
+
+            async def f(loop):
+                asyncio.create_task(pump())
+                loop.create_task(pump())
+                asyncio.ensure_future(pump())
+            """,
+    }, rules=["ERR002"])
+    assert rule_ids(report) == ["ERR002", "ERR002", "ERR002"]
+    assert all(f.severity == SEV_ERROR for f in report.findings)
+
+
+def test_err002_clean_on_kept_awaited_or_collected_handles(tmp_path):
+    report = lint_tree(tmp_path, {
+        "serve/app.py": """\
+            import asyncio
+
+            async def f(tasks):
+                t = asyncio.create_task(pump())
+                tasks.append(asyncio.create_task(pump()))
+                await asyncio.create_task(pump())
+                return t
+            """,
+    }, rules=["ERR002"])
+    assert report.findings == []
+
+
+def test_err002_only_scopes_async_packages(tmp_path):
+    # Outside the serve packages the rule stays silent — batch drivers
+    # have no event loop whose weak references could drop a task.
+    report = lint_tree(tmp_path, {
+        "parallel/driver.py": """\
+            import asyncio
+
+            async def f():
+                asyncio.create_task(pump())
+            """,
+    }, rules=["ERR002"])
+    assert report.findings == []
+
+
+def test_err002_pragma_suppresses(tmp_path):
+    report = lint_tree(tmp_path, {
+        "serve/app.py": """\
+            import asyncio
+
+            async def f():
+                # deliberate fire-and-forget: loop lifetime exceeds task
+                asyncio.create_task(pump())  # simlint: disable=ERR002
+            """,
+    }, rules=["ERR002"])
+    assert report.findings == []
+
+
+def test_err002_shipped_serve_tree_is_clean():
+    report = run_lint([str(SRC / "repro" / "serve")], rules=["ERR002"])
+    assert report.findings == [], report.format()
+
+
+# ---------------------------------------------------------------------------
 # engine behavior
 
 

@@ -326,7 +326,7 @@ class TestCache:
     def test_corrupt_cache_entry_is_a_miss_not_a_crash(self, tmp_path):
         cfg = micro_cfg()
         first = run_campaign([cfg], jobs=1, cache=str(tmp_path))
-        (entry,) = tmp_path.glob("*.json")
+        (entry,) = tmp_path.rglob("*.json")
         entry.write_text("garbage{")
         again = run_campaign([cfg], jobs=1, cache=str(tmp_path))
         assert again.outcomes[0].status == "ok"  # re-simulated, not crashed

@@ -209,6 +209,85 @@ class TestResultStore:
         assert micro_cfg(cc=False) not in store
 
 
+class TestShardedLayout:
+    """Fan-out subdirectories by key prefix + legacy flat read-through."""
+
+    def test_save_lands_in_key_prefix_shard(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        cfg = micro_cfg()
+        path = store.save(run_experiment(cfg))
+        key = config_key(cfg)
+        assert path == str(tmp_path / key[:2] / f"{key}.json")
+        assert (tmp_path / key[:2] / f"{key}.json").exists()
+        # Nothing lands flat at the top level any more.
+        assert not (tmp_path / f"{key}.json").exists()
+
+    def test_legacy_flat_entry_reads_through(self, tmp_path):
+        cfg = micro_cfg()
+        res = run_experiment(cfg)
+        key = config_key(cfg)
+        # A store written before sharding existed: flat layout.
+        (tmp_path / f"{key}.json").write_text(json.dumps(result_to_dict(res)))
+        store = ResultStore(str(tmp_path))
+        assert cfg in store
+        assert store.contains_key(key)
+        loaded = store.load(cfg)
+        assert loaded is not None
+        assert loaded.rates_gbps == res.rates_gbps
+        assert len(store) == 1
+
+    def test_len_and_keys_span_both_layouts_without_double_count(self, tmp_path):
+        cfg_a, cfg_b = micro_cfg(), micro_cfg(cc=False)
+        res_a, res_b = run_experiment(cfg_a), run_experiment(cfg_b)
+        key_a = config_key(cfg_a)
+        # key_a in the legacy flat layout AND sharded; key_b sharded only.
+        (tmp_path / f"{key_a}.json").write_text(json.dumps(result_to_dict(res_a)))
+        store = ResultStore(str(tmp_path))
+        store.save(res_a)
+        store.save(res_b)
+        assert len(store) == 2
+        assert store.keys() == sorted([key_a, config_key(cfg_b)])
+
+    def test_corrupt_sharded_entry_quarantines_in_shard(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        cfg = micro_cfg()
+        path = store.save(run_experiment(cfg))
+        with open(path, "w") as fh:
+            fh.write("garbage{")
+        assert store.load(cfg) is None
+        from repro.experiments.store import find_quarantined, purge_quarantined
+
+        assert find_quarantined(str(tmp_path)) == [path + ".corrupt"]
+        assert purge_quarantined(str(tmp_path)) == [path + ".corrupt"]
+        assert find_quarantined(str(tmp_path)) == []
+
+    def test_same_key_save_is_last_writer_wins_and_never_torn(self, tmp_path):
+        import threading
+
+        store = ResultStore(str(tmp_path))
+        res = run_experiment(micro_cfg())
+        # Hammer the same key from several threads; every intermediate
+        # and final read must be a complete, parseable entry.
+        errors = []
+
+        def writer():
+            try:
+                for _ in range(10):
+                    store.save(res)
+                    assert store.load(res.config) is not None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(store) == 1
+        assert store.load(res.config).rates_gbps == res.rates_gbps
+
+
 class TestReadThroughLayer:
     """The repro.parallel cache over the store: hit/miss accounting."""
 
