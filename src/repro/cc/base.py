@@ -26,10 +26,22 @@ implement how feedback and the periodic timer move ``r``:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Mapping, Optional, Protocol, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Hashable,
+    Mapping,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
 
 from repro.core.parameters import CCParams
 from repro.network.packet import FlowKey, Packet
+
+if TYPE_CHECKING:
+    from repro.network.hca import Hca
 
 #: Rates are snapped to exactly 1.0 once within this distance, so a
 #: geometric recovery (e.g. DCQCN's (target+rate)/2) terminates and the
@@ -109,7 +121,7 @@ class RateBasedCC:
         "trace",
     )
 
-    def __init__(self, hca, params: CCParams, options: Mapping[str, Any]) -> None:
+    def __init__(self, hca: "Hca", params: CCParams, options: Mapping[str, Any]) -> None:
         self.hca = hca
         self.params = params
         self.options = dict(options)
@@ -258,7 +270,9 @@ class RateBasedCC:
             return 1.0
         return rate
 
-    def _note_rate_change(self, key: Hashable, sl: int, old: float, state) -> None:
+    def _note_rate_change(
+        self, key: Hashable, sl: int, old: float, state: _RateState
+    ) -> None:
         if self.trace is not None and state.rate != old:
             ksrc, kdst = key if self.params.cc_mode == "qp" else (-1, sl)
             self.trace.rate_change(

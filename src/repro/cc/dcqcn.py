@@ -26,8 +26,15 @@ plumbing (switch FECN marks → destination CNPs → source BECNs):
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Mapping
+
 from repro.cc.base import RateBasedCC, _RateState
 from repro.cc.registry import register_mechanism
+from repro.core.parameters import CCParams
+from repro.network.packet import Packet
+
+if TYPE_CHECKING:
+    from repro.network.hca import Hca
 
 
 class DcqcnCC(RateBasedCC):
@@ -37,7 +44,9 @@ class DcqcnCC(RateBasedCC):
 
     __slots__ = ("gain", "rai", "fast_rounds", "byte_counter", "pause_threshold")
 
-    def __init__(self, hca, params, options) -> None:
+    def __init__(
+        self, hca: "Hca", params: CCParams, options: Mapping[str, Any]
+    ) -> None:
         super().__init__(hca, params, options)
         self.gain = float(self.options["gain"])
         if not 0.0 < self.gain <= 1.0:
@@ -65,7 +74,7 @@ class DcqcnCC(RateBasedCC):
         state.rate = self._clamp_no_snap(state.rate * (1.0 - alpha / 2.0))
 
     # -- recovery ----------------------------------------------------------
-    def _count_inject(self, state: _RateState, pkt) -> None:
+    def _count_inject(self, state: _RateState, pkt: Packet) -> None:
         state.extra["bytes"] = state.extra.get("bytes", 0.0) + pkt.wire_size
 
     def _on_timer(self, state: _RateState) -> None:

@@ -21,8 +21,15 @@ no-spontaneous-rate-change invariant by construction.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Mapping
+
 from repro.cc.base import RateBasedCC, _RateState
 from repro.cc.registry import register_mechanism
+from repro.core.parameters import CCParams
+from repro.network.packet import Packet
+
+if TYPE_CHECKING:
+    from repro.network.hca import Hca
 
 
 class DctcpCC(RateBasedCC):
@@ -32,7 +39,9 @@ class DctcpCC(RateBasedCC):
 
     __slots__ = ("gain", "ai")
 
-    def __init__(self, hca, params, options) -> None:
+    def __init__(
+        self, hca: "Hca", params: CCParams, options: Mapping[str, Any]
+    ) -> None:
         super().__init__(hca, params, options)
         self.gain = float(self.options["gain"])
         if not 0.0 < self.gain <= 1.0:
@@ -46,7 +55,7 @@ class DctcpCC(RateBasedCC):
         # moves when the window closes at the next timer fire.
         state.extra["marked"] = state.extra.get("marked", 0.0) + 1.0
 
-    def _count_inject(self, state: _RateState, pkt) -> None:
+    def _count_inject(self, state: _RateState, pkt: Packet) -> None:
         state.extra["sent"] = state.extra.get("sent", 0.0) + 1.0
 
     def _on_timer(self, state: _RateState) -> None:

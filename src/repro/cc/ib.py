@@ -16,12 +16,15 @@ which every mechanism receives anyway.
 
 from __future__ import annotations
 
-from typing import Any, List, Mapping
+from typing import TYPE_CHECKING, Any, List, Mapping
 
 from repro.cc.registry import register_mechanism
 from repro.core.cct import build_cct
 from repro.core.hca_cc import HcaCC
 from repro.core.parameters import CCParams
+
+if TYPE_CHECKING:
+    from repro.network.hca import Hca
 
 
 def _prepare_cct(params: CCParams, options: Mapping[str, Any]) -> List[float]:
@@ -32,7 +35,7 @@ def _prepare_cct(params: CCParams, options: Mapping[str, Any]) -> List[float]:
 
 
 def _build_ib(
-    hca, params: CCParams, options: Mapping[str, Any], shared: List[float]
+    hca: "Hca", params: CCParams, options: Mapping[str, Any], shared: List[float]
 ) -> HcaCC:
     return HcaCC(hca, params, shared)
 

@@ -16,8 +16,14 @@ step), which is exactly the contrast the arena is built to measure.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Mapping
+
 from repro.cc.base import RateBasedCC, _RateState
 from repro.cc.registry import register_mechanism
+from repro.core.parameters import CCParams
+
+if TYPE_CHECKING:
+    from repro.network.hca import Hca
 
 
 class RenoCC(RateBasedCC):
@@ -27,7 +33,9 @@ class RenoCC(RateBasedCC):
 
     __slots__ = ("md", "ai")
 
-    def __init__(self, hca, params, options) -> None:
+    def __init__(
+        self, hca: "Hca", params: CCParams, options: Mapping[str, Any]
+    ) -> None:
         super().__init__(hca, params, options)
         self.md = float(self.options["md"])
         if not 0.0 < self.md < 1.0:

@@ -193,6 +193,10 @@ Scheduler = Union[HeapScheduler, CalendarScheduler]
 
 def scheduler_from_env() -> str:
     """The scheduler name selected by ``REPRO_SCHEDULER`` (default heapq)."""
+    # Read once at simulator construction, never on the event path; the
+    # two backends are proven byte-identical, so the knob cannot alter
+    # results (and is deliberately not part of the store key).
+    # simlint: disable-next-line=DET103
     name = os.environ.get(ENV_SCHEDULER, "").strip().lower()
     return name if name else "heapq"
 

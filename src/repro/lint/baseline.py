@@ -1,0 +1,143 @@
+"""Fingerprint-stable finding baseline — the simlint ratchet.
+
+Whole-program rules fire on real latent findings the moment they land;
+without a ratchet they could only ship at error severity after a
+big-bang sweep of the whole tree. The baseline records the
+*judged-acceptable* findings of one audited run; subsequent runs
+subtract them, so the exit-code policy applies only to findings that
+are genuinely new. CI fails on any non-baselined error finding, and
+the baseline file is committed — shrinking it is progress, growing it
+is a reviewed decision.
+
+Fingerprints must survive unrelated edits: a finding is identified by
+
+* the rule id,
+* the file path (as reported, i.e. relative to the lint invocation),
+* the **stripped source-line text** of the flagged line, and
+* its ordinal among identical (rule, path, line-text) triples.
+
+Line *numbers* are deliberately excluded — inserting a comment above a
+baselined finding shifts every line number but changes none of the
+fingerprints, so nothing resurrects. Messages are excluded too: taint
+messages embed call chains whose line numbers move for the same
+reason.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+#: The conventional committed baseline file, auto-loaded by the CLI
+#: when present (pass ``--no-baseline`` to lint without it).
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_BASELINE_VERSION = 1
+
+
+def _line_text(source: Optional[str], line: int) -> str:
+    if source is None:
+        return ""
+    lines = source.splitlines()
+    if 1 <= line <= len(lines):
+        return lines[line - 1].strip()
+    return ""
+
+
+def _normalize_path(path: str) -> str:
+    """Invocation-form-independent path: ``lint src/`` and ``lint
+    /abs/path/src`` must produce identical fingerprints."""
+    ap = os.path.abspath(path)
+    cwd = os.getcwd()
+    if ap == cwd or ap.startswith(cwd + os.sep):
+        path = os.path.relpath(ap, cwd)
+    return path.replace("\\", "/").lstrip("./")
+
+
+def fingerprint_findings(
+    findings: Sequence[Finding],
+    sources: Dict[str, str],
+) -> List[Tuple[Finding, str]]:
+    """Pair each finding with its stable fingerprint.
+
+    ``sources`` maps finding paths to raw file contents (used for the
+    flagged line's text). Ordinals disambiguate repeated identical
+    lines — two ``random.random()`` calls on textually identical lines
+    get ordinals 0 and 1 in (line, col) order, so fixing one of them
+    surfaces exactly one new finding.
+    """
+    ordered = sorted(findings, key=lambda f: f.sort_key)
+    counts: Dict[Tuple[str, str, str], int] = {}
+    out: List[Tuple[Finding, str]] = []
+    by_input: Dict[Finding, str] = {}
+    for f in ordered:
+        text = _line_text(sources.get(f.path), f.line)
+        base = (f.rule, _normalize_path(f.path), text)
+        ordinal = counts.get(base, 0)
+        counts[base] = ordinal + 1
+        digest = hashlib.sha256(
+            "\x1f".join([*base, str(ordinal)]).encode("utf-8")
+        ).hexdigest()[:16]
+        by_input[f] = digest
+    for f in findings:
+        out.append((f, by_input[f]))
+    return out
+
+
+@dataclass
+class Baseline:
+    """The accepted-findings set loaded from / saved to disk."""
+
+    #: fingerprint → descriptive entry (rule/path/message snapshot —
+    #: informational only; matching is by fingerprint).
+    entries: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        if not isinstance(data, dict) or "fingerprints" not in data:
+            raise ValueError(f"{path}: not a simlint baseline file")
+        entries = data["fingerprints"]
+        if not isinstance(entries, dict):
+            raise ValueError(f"{path}: malformed fingerprint table")
+        return cls(entries=dict(entries))
+
+    @classmethod
+    def from_findings(
+        cls, pairs: Sequence[Tuple[Finding, str]]
+    ) -> "Baseline":
+        entries: Dict[str, Dict[str, Any]] = {}
+        for finding, fp in sorted(pairs, key=lambda p: p[0].sort_key):
+            entries[fp] = {
+                "rule": finding.rule,
+                "severity": finding.severity,
+                "path": _normalize_path(finding.path),
+                "message": finding.message,
+            }
+        return cls(entries=entries)
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": _BASELINE_VERSION,
+            "count": len(self.entries),
+            "fingerprints": {
+                fp: self.entries[fp] for fp in sorted(self.entries)
+            },
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)

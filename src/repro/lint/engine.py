@@ -10,8 +10,9 @@ from __future__ import annotations
 import ast
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.lint.baseline import Baseline, fingerprint_findings
 from repro.lint.findings import SEV_ERROR, SEV_WARNING, Finding
 from repro.lint.pragmas import PragmaIndex
 from repro.lint.project import (
@@ -29,9 +30,18 @@ _SKIP_DIRS = frozenset(
 )
 
 
-def iter_python_files(paths: Sequence[str]) -> List[str]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
-    out: List[str] = []
+class LintPathError(ValueError):
+    """An explicit path argument that cannot be linted.
+
+    Raised (never silently ignored) when an argument does not exist or
+    is a file without a ``.py`` suffix — ``repro lint typo.py`` must be
+    a hard error, not a successful zero-file run.
+    """
+
+
+def _walk_with_roots(paths: Sequence[str]) -> List[Tuple[str, str]]:
+    """Expand files/directories into ``(file, walk_root)`` pairs."""
+    out: List[Tuple[str, str]] = []
     for path in paths:
         if os.path.isdir(path):
             for root, dirs, names in os.walk(path):
@@ -41,17 +51,34 @@ def iter_python_files(paths: Sequence[str]) -> List[str]:
                 )
                 for name in sorted(names):
                     if name.endswith(".py"):
-                        out.append(os.path.join(root, name))
+                        out.append((os.path.join(root, name), path))
+        elif not os.path.exists(path):
+            raise LintPathError(f"no such file or directory: {path!r}")
         elif path.endswith(".py"):
-            out.append(path)
+            out.append((path, os.path.dirname(path)))
+        else:
+            raise LintPathError(
+                f"not a Python file: {path!r} (explicit file arguments "
+                "must end in .py; directories are walked recursively)"
+            )
     # De-duplicate while keeping the sorted walk order stable.
     seen = set()
     unique = []
-    for p in out:
-        if p not in seen:
-            seen.add(p)
-            unique.append(p)
+    for pair in out:
+        if pair[0] not in seen:
+            seen.add(pair[0])
+            unique.append(pair)
     return unique
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Explicit arguments that do not exist, or that name a non-``.py``
+    file, raise :class:`LintPathError` — a typo'd path must never
+    produce a clean zero-file lint run.
+    """
+    return [path for path, _root in _walk_with_roots(paths)]
 
 
 @dataclass
@@ -61,6 +88,11 @@ class LintReport:
     findings: List[Finding]
     files_checked: int
     rules_run: List[str] = field(default_factory=list)
+    #: Findings suppressed by the loaded baseline (ratchet debt).
+    baselined: int = 0
+    #: Findings outside the ``--changed-only`` file set (whole-program
+    #: analysis still saw those files; only reporting is narrowed).
+    out_of_scope: int = 0
 
     @property
     def errors(self) -> List[Finding]:
@@ -83,16 +115,21 @@ class LintReport:
         lines = [f.format() for f in self.findings]
         n_err, n_warn = len(self.errors), len(self.warnings)
         n_info = len(self.findings) - n_err - n_warn
-        lines.append(
+        summary = (
             f"simlint: {self.files_checked} file(s) checked, "
             f"{n_err} error(s), {n_warn} warning(s), {n_info} info"
         )
+        if self.baselined:
+            summary += f", {self.baselined} baselined"
+        if self.out_of_scope:
+            summary += f", {self.out_of_scope} outside --changed-only scope"
+        lines.append(summary)
         return "\n".join(lines)
 
     def to_json_dict(self) -> Dict[str, Any]:
         """The stable machine-readable form (``repro lint --json``)."""
         return {
-            "version": 1,
+            "version": 2,
             "files_checked": self.files_checked,
             "rules_run": list(self.rules_run),
             "summary": {
@@ -103,12 +140,14 @@ class LintReport:
                     - len(self.errors)
                     - len(self.warnings)
                 ),
+                "baselined": self.baselined,
+                "out_of_scope": self.out_of_scope,
             },
             "findings": [f.to_dict() for f in self.findings],
         }
 
 
-def _load_file(path: str) -> SourceFile:
+def _load_file(path: str, root: str = "") -> SourceFile:
     with open(path, encoding="utf-8") as fh:
         source = fh.read()
     tree = ast.parse(source, filename=path)
@@ -118,7 +157,12 @@ def _load_file(path: str) -> SourceFile:
         tree=tree,
         pragmas=PragmaIndex.from_source(source),
         parts=classify_parts(path),
+        root=root,
     )
+
+
+def _norm(path: str) -> str:
+    return os.path.normpath(os.path.abspath(path))
 
 
 def run_lint(
@@ -126,20 +170,31 @@ def run_lint(
     *,
     rules: Optional[Sequence[str]] = None,
     config: Optional[LintConfig] = None,
+    baseline: Union[Baseline, str, None] = None,
+    changed_only: Optional[Sequence[str]] = None,
 ) -> LintReport:
     """Lint ``paths`` (files and/or directories) with the selected rules.
 
     Unparseable files produce a ``PARSE001`` error finding rather than
     aborting the run. Findings suppressed by ``# simlint:`` pragmas are
-    dropped before aggregation; the rest come back sorted by location.
+    dropped before aggregation; the rest come back sorted by location,
+    each carrying its baseline fingerprint.
+
+    ``baseline`` (a :class:`~repro.lint.baseline.Baseline` or a file
+    path) subtracts previously-accepted findings by fingerprint; the
+    count survives in :attr:`LintReport.baselined`. ``changed_only``
+    narrows *reporting* to findings located in the given files — the
+    whole-program analysis still runs over every linted file, so a
+    change in a helper correctly surfaces findings at its sim-critical
+    call sites when those call sites are in the changed set.
     """
     selected: List[Rule] = get_rules(rules)
     files: List[SourceFile] = []
     findings: List[Finding] = []
-    file_paths = iter_python_files(paths)
-    for path in file_paths:
+    pairs = _walk_with_roots(paths)
+    for path, root in pairs:
         try:
-            files.append(_load_file(path))
+            files.append(_load_file(path, root))
         except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
             lineno = getattr(exc, "lineno", None) or 1
             findings.append(Finding(
@@ -158,9 +213,43 @@ def run_lint(
                 continue
             findings.append(finding)
 
+    # Attach fingerprints (stable across line-number shifts).
+    sources = {f.path: f.source for f in files}
+    from dataclasses import replace
+
+    findings = [
+        replace(f, fingerprint=fp)
+        for f, fp in fingerprint_findings(findings, sources)
+    ]
+
+    baselined = 0
+    if baseline is not None:
+        if isinstance(baseline, str):
+            baseline = Baseline.load(baseline)
+        kept = []
+        for f in findings:
+            if f.fingerprint in baseline:
+                baselined += 1
+            else:
+                kept.append(f)
+        findings = kept
+
+    out_of_scope = 0
+    if changed_only is not None:
+        scope = {_norm(p) for p in changed_only}
+        kept = []
+        for f in findings:
+            if _norm(f.path) in scope:
+                kept.append(f)
+            else:
+                out_of_scope += 1
+        findings = kept
+
     findings.sort(key=lambda f: f.sort_key)
     return LintReport(
         findings=findings,
-        files_checked=len(file_paths),
+        files_checked=len(pairs),
         rules_run=[r.id for r in selected],
+        baselined=baselined,
+        out_of_scope=out_of_scope,
     )

@@ -1,9 +1,13 @@
 """``# simlint:`` suppression pragmas.
 
-Two forms, both comments so they survive formatting:
+Three forms, all comments so they survive formatting:
 
 * line pragma — ``# simlint: disable=DET001[,DET002]`` suppresses the
   named rules (or ``all``) for findings *on that physical line*;
+* next-line pragma — ``# simlint: disable-next-line=DET001`` on a
+  comment line suppresses the named rules for findings on the *next*
+  physical line (the readable form when the flagged line is already
+  long);
 * file pragma — ``# simlint: disable-file=DET001`` on a line of its
   own suppresses the named rules for the whole file.
 
@@ -20,7 +24,7 @@ import re
 from typing import Dict, FrozenSet, Set
 
 _PRAGMA_RE = re.compile(
-    r"#\s*simlint:\s*(?P<kind>disable-file|disable)\s*=\s*"
+    r"#\s*simlint:\s*(?P<kind>disable-next-line|disable-file|disable)\s*=\s*"
     r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
 )
 
@@ -54,10 +58,14 @@ class PragmaIndex:
                 r.strip().lower() if r.strip().lower() == ALL else r.strip()
                 for r in match.group("rules").split(",")
             )
-            if match.group("kind") == "disable-file":
+            kind = match.group("kind")
+            if kind == "disable-file":
                 file_rules |= rules
             else:
-                line_rules[lineno] = line_rules.get(lineno, frozenset()) | rules
+                # A next-line pragma indexes the following physical
+                # line — same lookup path as a same-line pragma.
+                target = lineno + 1 if kind == "disable-next-line" else lineno
+                line_rules[target] = line_rules.get(target, frozenset()) | rules
         return cls(frozenset(file_rules), line_rules)
 
     def suppressed(self, rule: str, line: int) -> bool:

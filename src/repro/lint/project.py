@@ -44,8 +44,25 @@ class LintConfig:
     #: the enforced randomness contract lives here.
     rng_blessed: FrozenSet[Tuple[str, str]] = frozenset({("engine", "rng")})
     #: Packages holding asyncio service code, where a dropped
-    #: ``create_task`` handle means silent task loss (ERR002).
+    #: ``create_task`` handle means silent task loss (ERR002) and
+    #: blocking calls inside ``async def`` stall the loop (CON001).
     async_packages: FrozenSet[str] = frozenset({"serve"})
+    #: ``(class, method)`` seeds of the PERF hot set: per-event dispatch
+    #: plus the scheduling entry points. Everything reachable from these
+    #: through the call graph — including scheduled callbacks — is "hot".
+    hot_roots: FrozenSet[Tuple[str, str]] = frozenset({
+        ("Simulator", "run"),
+        ("Simulator", "schedule"),
+        ("Simulator", "schedule_at"),
+        ("Simulator", "step"),
+    })
+    #: Known worker-process entry points by bare function name, in
+    #: addition to refs auto-detected via ``Process(target=...)``
+    #: (CON002 module-state discipline).
+    worker_entry_names: FrozenSet[str] = frozenset({"worker_main"})
+    #: Packages the planned mypyc/Cython compiled build would cover —
+    #: the ``--mypyc-report`` readiness rules (MPC0xx) sweep these.
+    mypyc_packages: FrozenSet[str] = frozenset({"engine", "network"})
 
 
 DEFAULT_CONFIG = LintConfig()
@@ -61,6 +78,9 @@ class SourceFile:
     pragmas: PragmaIndex
     #: Normalized path segments, e.g. ``("repro", "engine", "rng")``.
     parts: Tuple[str, ...]
+    #: The walk root this file was discovered under — the call graph
+    #: derives dotted module names relative to it.
+    root: str = ""
 
     @property
     def module_name(self) -> str:
@@ -90,6 +110,20 @@ class Project:
 
     files: List[SourceFile]
     config: LintConfig = field(default_factory=LintConfig)
+    #: Lazily built whole-program call graph (shared by every rule so
+    #: the tree is analyzed once per run). Typed loosely to avoid a
+    #: project → callgraph import cycle.
+    _callgraph: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def callgraph(self) -> "object":
+        """The whole-program :class:`repro.lint.callgraph.CallGraph`."""
+        if self._callgraph is None:
+            from repro.lint.callgraph import build_callgraph
+
+            self._callgraph = build_callgraph(self)
+        return self._callgraph
 
     def sim_critical(self, f: SourceFile) -> bool:
         return f.in_package(self.config.sim_critical)

@@ -26,13 +26,18 @@ class Rule:
     severity: str
     summary: str
     check: RuleFn
+    #: Opt-in rules (``default=False``) never run unless selected by
+    #: id — the ``--mypyc-report`` readiness pass lives behind this.
+    default: bool = True
 
 
 #: All registered rules, keyed by id (import the rule modules to fill).
 RULES: Dict[str, Rule] = {}
 
 
-def rule(rule_id: str, *, severity: str, summary: str) -> Callable[[RuleFn], RuleFn]:
+def rule(
+    rule_id: str, *, severity: str, summary: str, default: bool = True
+) -> Callable[[RuleFn], RuleFn]:
     """Class-less registration decorator for rule functions."""
     if severity not in SEVERITY_RANK:
         raise ValueError(f"unknown severity {severity!r} for rule {rule_id}")
@@ -40,7 +45,10 @@ def rule(rule_id: str, *, severity: str, summary: str) -> Callable[[RuleFn], Rul
     def register(fn: RuleFn) -> RuleFn:
         if rule_id in RULES:
             raise ValueError(f"duplicate rule id {rule_id}")
-        RULES[rule_id] = Rule(id=rule_id, severity=severity, summary=summary, check=fn)
+        RULES[rule_id] = Rule(
+            id=rule_id, severity=severity, summary=summary, check=fn,
+            default=default,
+        )
         return fn
 
     return register
@@ -51,10 +59,15 @@ def all_rule_ids() -> List[str]:
     return sorted(RULES)
 
 
+def default_rule_ids() -> List[str]:
+    """The rule ids that run when no selection is given."""
+    return [rid for rid in sorted(RULES) if RULES[rid].default]
+
+
 def get_rules(selection: Optional[Sequence[str]] = None) -> List[Rule]:
-    """Resolve a rule-id selection (None = every registered rule)."""
+    """Resolve a rule-id selection (None = every default rule)."""
     if selection is None:
-        return [RULES[rid] for rid in all_rule_ids()]
+        return [RULES[rid] for rid in default_rule_ids()]
     out = []
     for rid in selection:
         if rid not in RULES:

@@ -1,0 +1,338 @@
+"""Interprocedural determinism taint: DET101–DET103.
+
+The per-file rules (DET001/DET002) stop at module boundaries: a
+``time.time()`` buried in a shared utility escapes them entirely the
+moment the utility lives outside a sim-critical package, even though a
+sim-critical caller feeds the read straight into the event schedule.
+The taint rules close that hole with the whole-program call graph:
+
+1. every function's body is scanned for **nondeterminism sources** —
+   raw ``random``/``numpy.random`` draws, wall-clock reads, ``id()``,
+   ``os.environ``/``os.getenv`` reads, unordered-``set`` iteration;
+2. sources propagate backwards over call and scheduled-callback edges
+   (a tainted helper taints everyone who invokes it, and a tainted
+   event callback taints the schedule);
+3. a finding fires at the **boundary call site** — the edge where a
+   sim-critical caller invokes a callee *outside* the sim-critical
+   zone whose closure contains a source. Sources inside sim-critical
+   files are DET001/DET002's business (they flag the read directly),
+   so the taint rules report each escaping chain exactly once, at the
+   edge where it leaves the zone the per-file rules can see.
+
+Messages carry the offending chain (``helper.now_ms → time.time at
+util/clock.py:12``) so the fix — threading virtual time / a seeded
+stream through the helper — is obvious from the finding alone.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
+
+from repro.lint.callgraph import KIND_CALL, KIND_SCHEDULED, CallGraph
+from repro.lint.findings import SEV_ERROR, Finding
+from repro.lint.project import Project, SourceFile
+from repro.lint.registry import rule
+from repro.lint.rules_determinism import (
+    _SAFE_NP_RANDOM,
+    _WALLCLOCK,
+    ImportTable,
+    _set_assigned_names,
+    _iteration_sites,
+    _unordered_iter,
+)
+
+#: Taint kinds.
+K_RANDOM = "random"
+K_WALLCLOCK = "wallclock"
+K_OTHER = "other"  # id() / os.environ / unordered-set iteration
+
+_TAINT_EDGE_KINDS = frozenset({KIND_CALL, KIND_SCHEDULED})
+
+
+@dataclass(frozen=True)
+class TaintSource:
+    """One direct nondeterminism source inside a function body."""
+
+    kind: str
+    what: str
+    func: str
+    path: str
+    line: int
+
+
+def _direct_sources(
+    project: Project, graph: CallGraph
+) -> Dict[str, List[TaintSource]]:
+    """Scan every function body for direct nondeterminism sources."""
+    out: Dict[str, List[TaintSource]] = {}
+    tables: Dict[str, ImportTable] = {}
+    set_names: Dict[str, Set[str]] = {}
+    by_path: Dict[str, SourceFile] = {f.path: f for f in project.files}
+
+    for qual, func in graph.functions.items():
+        f = by_path.get(func.path)
+        if f is None:
+            continue
+        if f.path not in tables:
+            tables[f.path] = ImportTable(f.tree)
+            set_names[f.path] = _set_assigned_names(f.tree)
+        table = tables[f.path]
+        sources: List[TaintSource] = []
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Call):
+                dotted = table.resolve(node.func)
+                if dotted is not None:
+                    if dotted.startswith("random."):
+                        sources.append(TaintSource(
+                            K_RANDOM, f"{dotted}()", qual, f.path, node.lineno,
+                        ))
+                    elif dotted.startswith("numpy.random."):
+                        if dotted.split(".")[-1] not in _SAFE_NP_RANDOM:
+                            sources.append(TaintSource(
+                                K_RANDOM, f"{dotted}()", qual, f.path,
+                                node.lineno,
+                            ))
+                    elif dotted in _WALLCLOCK:
+                        sources.append(TaintSource(
+                            K_WALLCLOCK, f"{dotted}()", qual, f.path,
+                            node.lineno,
+                        ))
+                    elif dotted in ("os.getenv", "os.environ.get"):
+                        sources.append(TaintSource(
+                            K_OTHER, f"{dotted}()", qual, f.path, node.lineno,
+                        ))
+                elif isinstance(node.func, ast.Name) and node.func.id == "id":
+                    sources.append(TaintSource(
+                        K_OTHER, "id()", qual, f.path, node.lineno,
+                    ))
+            elif isinstance(node, ast.Subscript):
+                dotted = table.resolve(node.value)
+                if dotted == "os.environ":
+                    sources.append(TaintSource(
+                        K_OTHER, "os.environ[...]", qual, f.path, node.lineno,
+                    ))
+        # Unordered-set iteration sites inside this function.
+        names = set_names[f.path]
+        for expr, lineno, _col in _iteration_sites(func.node):
+            why = _unordered_iter(expr, names)
+            if why is not None:
+                sources.append(TaintSource(
+                    K_OTHER, f"iteration over {why}", qual, f.path, lineno,
+                ))
+        if sources:
+            out[qual] = sources
+    return out
+
+
+def _closures(
+    graph: CallGraph, direct: Dict[str, List[TaintSource]]
+) -> Dict[str, FrozenSet[str]]:
+    """Fixpoint: the taint-kind closure of every function."""
+    closure: Dict[str, Set[str]] = {
+        q: {s.kind for s in direct.get(q, ())} for q in graph.functions
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qual in graph.functions:
+            kinds = closure[qual]
+            before = len(kinds)
+            for site in graph.calls.get(qual, ()):
+                if site.kind in _TAINT_EDGE_KINDS and site.callee in closure:
+                    kinds |= closure[site.callee]
+            if len(kinds) != before:
+                changed = True
+    return {q: frozenset(k) for q, k in closure.items()}
+
+
+def _in_sim_critical(project: Project, path: str) -> bool:
+    f = _file_of(project, path)
+    return f is not None and project.sim_critical(f)
+
+
+def _file_of(project: Project, path: str) -> Optional[SourceFile]:
+    for f in project.files:
+        if f.path == path:
+            return f
+    return None
+
+
+@dataclass
+class _TaintAnalysis:
+    """Shared per-run taint computation (built once, used by 3 rules)."""
+
+    graph: CallGraph
+    direct: Dict[str, List[TaintSource]]
+    #: Per-function closure over *escaping* sources only — sources
+    #: defined outside sim-critical files, i.e. the ones DET001/DET002
+    #: cannot see. Boundary findings key off this closure.
+    escaping_closures: Dict[str, FrozenSet[str]]
+    escaping: Dict[str, List[TaintSource]]
+    by_path: Dict[str, SourceFile]
+
+
+def _analysis(project: Project) -> _TaintAnalysis:
+    cached = getattr(project, "_taint_analysis", None)
+    if cached is not None:
+        return cached  # type: ignore[no-any-return]
+    graph = project.callgraph()
+    assert isinstance(graph, CallGraph)
+    direct = _direct_sources(project, graph)
+    escaping = {
+        qual: kept
+        for qual, srcs in direct.items()
+        if (kept := [s for s in srcs if not _in_sim_critical(project, s.path)])
+    }
+    analysis = _TaintAnalysis(
+        graph=graph,
+        direct=direct,
+        escaping_closures=_closures(graph, escaping),
+        escaping=escaping,
+        by_path={f.path: f for f in project.files},
+    )
+    # Cached on the Project object: the three DET1xx rules (and CON001)
+    # share one whole-program pass per lint run.
+    project._taint_analysis = analysis  # type: ignore[attr-defined]
+    return analysis
+
+
+def _describe_chain(
+    analysis: _TaintAnalysis, callee: str, kind: str
+) -> str:
+    """Human chain from ``callee`` to the nearest escaping source."""
+    tainted = {
+        q for q, srcs in analysis.escaping.items()
+        if any(s.kind == kind for s in srcs)
+    }
+    chain = analysis.graph.chain(callee, tainted)
+    if not chain:
+        return callee
+    source = next(
+        s for s in analysis.escaping[chain[-1]] if s.kind == kind
+    )
+    hops = " -> ".join(chain)
+    return f"{hops} -> {source.what} at {source.path}:{source.line}"
+
+
+def _boundary_findings(
+    project: Project, kind: str, rule_id: str, severity: str, advice: str,
+    *, caller_exempt: str = "",
+) -> Iterator[Finding]:
+    """Findings at sim-critical call sites whose callee closure carries
+    ``kind`` taint originating *outside* the sim-critical zone."""
+    analysis = _analysis(project)
+    graph = analysis.graph
+    for qual, func in graph.functions.items():
+        caller_file = analysis.by_path.get(func.path)
+        if caller_file is None or not project.sim_critical(caller_file):
+            continue
+        if caller_exempt == "wallclock" and project.wallclock_allowed(caller_file):
+            continue
+        if caller_exempt == "rng" and project.rng_blessed(caller_file):
+            continue
+        for site in graph.calls.get(qual, ()):
+            if site.kind not in _TAINT_EDGE_KINDS:
+                continue
+            callee = graph.functions.get(site.callee)
+            if callee is None:
+                continue
+            # Boundary edge: callee lives outside the sim-critical
+            # zone (inside it, DET001/DET002 see the source directly),
+            # and its closure carries a source the per-file rules
+            # cannot flag — one defined outside sim-critical files.
+            if _in_sim_critical(project, callee.path):
+                continue
+            if kind not in analysis.escaping_closures.get(
+                site.callee, frozenset()
+            ):
+                continue
+            chain = _describe_chain(analysis, site.callee, kind)
+            yield Finding(
+                rule_id, severity, func.path, site.line, site.col,
+                f"call into {site.callee}() carries {kind} "
+                f"nondeterminism into sim-critical code "
+                f"(via {chain}); {advice}",
+            )
+
+
+@rule(
+    "DET101",
+    severity=SEV_ERROR,
+    summary=(
+        "sim-critical call into a helper whose call closure draws raw "
+        "random/numpy.random numbers (interprocedural DET001)"
+    ),
+)
+def det101_random_taint(project: Project) -> Iterator[Finding]:
+    """Raw randomness reached through helper calls, across files."""
+    yield from _boundary_findings(
+        project, K_RANDOM, "DET101", SEV_ERROR,
+        "route the helper's randomness through a seeded "
+        "repro.engine.rng.RngRegistry stream",
+        caller_exempt="rng",
+    )
+
+
+@rule(
+    "DET102",
+    severity=SEV_ERROR,
+    summary=(
+        "sim-critical call into a helper whose call closure reads the "
+        "wall clock (interprocedural DET002)"
+    ),
+)
+def det102_wallclock_taint(project: Project) -> Iterator[Finding]:
+    """Wall-clock reads reached through helper calls, across files."""
+    yield from _boundary_findings(
+        project, K_WALLCLOCK, "DET102", SEV_ERROR,
+        "thread virtual time (sim.now) into the helper instead of "
+        "letting it read host clocks",
+        caller_exempt="wallclock",
+    )
+
+
+@rule(
+    "DET103",
+    severity=SEV_ERROR,
+    summary=(
+        "order/identity nondeterminism (id(), os.environ reads, "
+        "unordered-set iteration) on the event path — directly or "
+        "through helper calls"
+    ),
+)
+def det103_other_taint(project: Project) -> Iterator[Finding]:
+    """Identity/environment/iteration-order nondeterminism on the path.
+
+    Unlike randomness and wall clocks, these sources have no per-file
+    error rule, so DET103 flags *direct* uses inside sim-critical files
+    too, not just escaped helper chains: ``id()`` values change per
+    process (breaking any ordering or hashing built on them),
+    ``os.environ`` reads couple behavior to launcher state, and set
+    iteration order follows hash seeds.
+    """
+    analysis = _analysis(project)
+    # Direct uses inside sim-critical files (except set iteration,
+    # which DET003 already reports per file with better context).
+    for qual, sources in sorted(analysis.direct.items()):
+        func = analysis.graph.functions.get(qual)
+        if func is None:
+            continue
+        f = analysis.by_path.get(func.path)
+        if f is None or not project.sim_critical(f):
+            continue
+        for src in sources:
+            if src.kind != K_OTHER or src.what.startswith("iteration over"):
+                continue
+            yield Finding(
+                "DET103", SEV_ERROR, func.path, src.line, 0,
+                f"{src.what} in sim-critical code: the value depends on "
+                "process/launcher state, not simulation inputs; pass it "
+                "in as explicit configuration",
+            )
+    yield from _boundary_findings(
+        project, K_OTHER, "DET103", SEV_ERROR,
+        "make the helper take its inputs explicitly (no process "
+        "identity, environment reads, or hash-order iteration)",
+    )

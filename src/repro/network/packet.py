@@ -78,6 +78,10 @@ def sync_pool_env() -> bool:
     the knob behaves like ``REPRO_SCHEDULER``: set in the environment,
     inherited by campaign workers, never part of a store key.
     """
+    # Read once per run_experiment, never on the event path; pooling is
+    # proven digest-neutral, so the knob cannot alter results (and is
+    # deliberately not part of the store key).
+    # simlint: disable-next-line=DET103
     raw = os.environ.get(ENV_PACKET_POOL, "").strip().lower()
     set_packet_pool(raw not in ("0", "false", "off"))
     return _pool_enabled

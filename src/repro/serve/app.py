@@ -83,10 +83,9 @@ class ServeApp:
             self.service.store.directory, recovered,
         )
         if self.ready_file:
-            tmp = self.ready_file + ".tmp"
-            with open(tmp, "w") as fh:
-                fh.write(f"{self.host} {self.bound_port}\n")
-            os.replace(tmp, self.ready_file)
+            # File I/O stays off the loop thread (CON001): clients may
+            # already be connecting by the time the ready file lands.
+            await loop.run_in_executor(None, self._write_ready_file)
 
         async with server:
             await self._shutdown.wait()
@@ -97,12 +96,22 @@ class ServeApp:
         await self.service.drain(loop)
         log.info("repro serve: drain complete, exiting")
 
+    def _write_ready_file(self) -> None:
+        """Atomically publish "host port" for subprocess discovery."""
+        assert self.ready_file is not None
+        tmp = self.ready_file + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(f"{self.host} {self.bound_port}\n")
+        os.replace(tmp, self.ready_file)
+
     def request_shutdown(self) -> None:
         self._shutdown.set()
 
     # -- per-connection handling ---------------------------------------
 
-    async def _handle(self, reader, writer) -> None:
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         try:
             try:
                 request = await read_request(reader)
@@ -130,7 +139,9 @@ class ServeApp:
             except (ConnectionError, OSError):
                 return
 
-    async def _dispatch(self, request: Request, writer) -> None:
+    async def _dispatch(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
         parts: Tuple[str, ...] = tuple(
             p for p in request.path.split("/") if p
         )
@@ -190,7 +201,9 @@ class ServeApp:
                 headers={"Allow": expected},
             )
 
-    async def _stream_events(self, campaign: Campaign, writer) -> None:
+    async def _stream_events(
+        self, campaign: Campaign, writer: asyncio.StreamWriter
+    ) -> None:
         """SSE: a snapshot, then deltas until the campaign finishes."""
         stream = SSEStream(writer)
         await stream.start()

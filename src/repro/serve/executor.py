@@ -40,7 +40,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.experiments.runner import run_experiment
 from repro.parallel.retry import RetryPolicy
@@ -49,6 +49,10 @@ from repro.parallel.supervisor import (
     DEFAULT_POISON_THRESHOLD,
     Supervisor,
 )
+
+if TYPE_CHECKING:
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.store import ResultStore
 
 log = logging.getLogger("repro.serve")
 
@@ -59,7 +63,7 @@ class SimRunner:
     def __init__(self, sim_log: Optional[str] = None) -> None:
         self.sim_log = sim_log
 
-    def __call__(self, config) -> Any:
+    def __call__(self, config: "ExperimentConfig") -> Any:
         if self.sim_log:
             from repro.experiments.store import config_key
 
@@ -136,7 +140,9 @@ class _ServiceSupervisor(Supervisor):
       re-queues what never started).
     """
 
-    def run_service(self, queue, stop_event: threading.Event) -> None:
+    def run_service(
+        self, queue: "deque[CellJob]", stop_event: threading.Event
+    ) -> None:
         self._queue = queue
         try:
             while self._queue or self._busy() or not stop_event.is_set():
@@ -161,7 +167,7 @@ class CampaignExecutor:
         self,
         *,
         loop: asyncio.AbstractEventLoop,
-        store,
+        store: "ResultStore",
         on_done: Callable[[CellDone], None],
         workers: int,
         retry: RetryPolicy,
@@ -204,7 +210,7 @@ class CampaignExecutor:
 
     # -- event-loop-side API -------------------------------------------
 
-    def submit(self, config, key: str) -> None:
+    def submit(self, config: "ExperimentConfig", key: str) -> None:
         """Queue one flight for execution (event loop thread)."""
         self._next_index += 1
         self._queue.append(CellJob(index=self._next_index, config=config, key=key))
@@ -229,7 +235,7 @@ class CampaignExecutor:
     # result serialization/fsync never blocks the event loop; only the
     # small CellDone record crosses the thread boundary.
 
-    def _record_ok(self, job: CellJob, result, wall: float) -> None:
+    def _record_ok(self, job: CellJob, result: Any, wall: float) -> None:
         try:
             path = self._store.save(result)
         except Exception as exc:

@@ -87,7 +87,7 @@ class Request:
             raise HttpError(400, f"request body is not valid JSON: {exc}")
 
 
-async def read_request(reader) -> Optional[Request]:
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
     """Parse one request off the stream; None on clean EOF.
 
     Raises :class:`HttpError` for anything malformed or oversized so
@@ -183,7 +183,9 @@ class Response:
         return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
 
 
-async def send_response(writer, response: Response) -> None:
+async def send_response(
+    writer: asyncio.StreamWriter, response: Response
+) -> None:
     writer.write(response.head() + response.body)
     await writer.drain()
 
@@ -196,7 +198,7 @@ class SSEStream:
     (surfacing as ``ConnectionError`` from :meth:`event`).
     """
 
-    def __init__(self, writer) -> None:
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
         self._writer = writer
 
     async def start(self) -> None:

@@ -255,7 +255,9 @@ class CampaignService:
                     error="daemon drained before the cell started",
                 )
         for campaign in self.campaigns.values():
-            self._checkpoint(campaign)
+            # Manifest writes are file I/O: off the loop thread (CON001)
+            # so SSE streams keep flowing while drain checkpoints.
+            await loop.run_in_executor(None, self._checkpoint, campaign)
 
         if self.executor is not None:
             finished = await loop.run_in_executor(
@@ -278,7 +280,7 @@ class CampaignService:
                         error="daemon stopped while the cell was executing",
                     )
         for campaign in self.campaigns.values():
-            self._checkpoint(campaign)
+            await loop.run_in_executor(None, self._checkpoint, campaign)
             self._publish(campaign, "drain", {"draining": True})
 
     # -- submission ----------------------------------------------------

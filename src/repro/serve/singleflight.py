@@ -40,14 +40,14 @@ class Flight:
     state: str = FLIGHT_QUEUED
     waiters: List[Waiter] = field(default_factory=list)
 
-    def join(self, campaign, cell) -> None:
+    def join(self, campaign: Any, cell: Any) -> None:
         self.waiters.append((campaign, cell))
         # A high-priority join pulls a still-queued shared flight
         # forward; a running flight is already past scheduling.
         if campaign.priority < self.priority and self.state == FLIGHT_QUEUED:
             self.priority = campaign.priority
 
-    def detach(self, campaign, cell) -> None:
+    def detach(self, campaign: Any, cell: Any) -> None:
         """Remove one waiter (cancellation); the flight itself lives on
         while any other campaign still waits or the work is running."""
         try:
@@ -79,7 +79,9 @@ class SingleFlight:
     def get(self, key: str) -> Optional[Flight]:
         return self._flights.get(key)
 
-    def open(self, key: str, config, tenant: str, priority: int) -> Flight:
+    def open(
+        self, key: str, config: Any, tenant: str, priority: int
+    ) -> Flight:
         """Register a new flight for ``key`` (must not already exist)."""
         if key in self._flights:
             raise ValueError(f"flight for {key} already open")
@@ -91,7 +93,7 @@ class SingleFlight:
         self._flights[key] = flight
         return flight
 
-    def join(self, key: str, campaign, cell) -> Flight:
+    def join(self, key: str, campaign: Any, cell: Any) -> Flight:
         """Attach a waiter to the existing flight for ``key``."""
         flight = self._flights[key]
         flight.join(campaign, cell)

@@ -834,12 +834,18 @@ def test_json_report_schema(tmp_path):
         "engine/gen.py": "import random\nX = random.random()\n",
     }, rules=["DET001"])
     data = json.loads(json.dumps(report.to_json_dict()))
-    assert data["version"] == 1
+    assert data["version"] == 2
     assert data["files_checked"] == 1
     assert data["rules_run"] == ["DET001"]
-    assert data["summary"] == {"errors": 1, "warnings": 0, "info": 0}
+    assert data["summary"] == {
+        "errors": 1, "warnings": 0, "info": 0,
+        "baselined": 0, "out_of_scope": 0,
+    }
     (finding,) = data["findings"]
-    assert set(finding) == {"rule", "severity", "path", "line", "col", "message"}
+    assert set(finding) == {
+        "rule", "severity", "path", "line", "col", "message", "fingerprint",
+    }
+    assert finding["fingerprint"]
     assert finding["rule"] == "DET001"
     assert finding["line"] == 2
 
@@ -885,7 +891,7 @@ def test_cli_lint_json_and_artifact(tmp_path, capsys):
     assert code == 0
     stdout = capsys.readouterr().out
     assert json.loads(stdout)["summary"]["errors"] == 0
-    assert json.loads(out_file.read_text())["version"] == 1
+    assert json.loads(out_file.read_text())["version"] == 2
 
 
 def test_cli_lint_list_rules(capsys):
